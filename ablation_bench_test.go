@@ -1,0 +1,104 @@
+package orojenesis
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: perfect
+// vs imperfect factorization, exhaustive vs heuristic search, and the
+// fusion execution styles. Each prints its comparison once.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/fusion"
+	"repro/internal/shape"
+)
+
+// BenchmarkAblation_PerfectVsImperfect measures the cost and the payoff
+// of widening the mapspace with imperfect factorizations (the Ruby
+// smoothing extension): more breakpoints and a pointwise-dominant curve
+// for more traversal time.
+func BenchmarkAblation_PerfectVsImperfect(b *testing.B) {
+	g := GEMM("g", 96, 80, 72) // scarce divisors: the worst case for perfect factors
+	for i := 0; i < b.N; i++ {
+		perfect := Bound(g, Options{})
+		imperfect := Bound(g, Options{ImperfectExtra: 16})
+		probe := perfect.MinBufferBytes() * 8
+		pAcc, _ := perfect.AccessesAt(probe)
+		iAcc, _ := imperfect.AccessesAt(probe)
+		emit(b.Name(), fmt.Sprintf(
+			"perfect: %d points | imperfect: %d points | accesses at %s: %s -> %s (%.3fx)\n",
+			perfect.Len(), imperfect.Len(), shape.FormatBytes(probe),
+			shape.FormatBytes(pAcc), shape.FormatBytes(iAcc),
+			float64(pAcc)/float64(iAcc)))
+	}
+}
+
+// BenchmarkAblation_HeuristicVsExhaustive quantifies the looseness of
+// random sampling and hill climbing against the exhaustive bound —
+// the paper's Sec. III argument that heuristics do not guarantee the
+// frontier.
+func BenchmarkAblation_HeuristicVsExhaustive(b *testing.B) {
+	g := GEMM("g", 1024, 1024, 1024)
+	exhaustive := Bound(g, Options{})
+	budgets := []int64{1 << 12, 1 << 16, 1 << 20}
+	for i := 0; i < b.N; i++ {
+		rows := fmt.Sprintf("%-22s %10s %10s %12s\n", "mapper", "max", "mean", "infeasible")
+		for _, cs := range []struct {
+			name  string
+			curve *Curve
+		}{
+			{"random-100", RandomSearchCurve(g, 100, 1)},
+			{"random-10000", RandomSearchCurve(g, 10000, 1)},
+			{"hillclimb-3000", HillClimbCurve(g, budgets, 3000, 1)},
+			{"exhaustive", exhaustive},
+		} {
+			l := CompareSearch(exhaustive, cs.curve)
+			rows += fmt.Sprintf("%-22s %9.2fx %9.2fx %11.0f%%\n",
+				cs.name, l.Max, l.Mean, l.Infeasible*100)
+		}
+		emit(b.Name(), rows)
+	}
+}
+
+// BenchmarkAblation_FusionModes contrasts the fusion execution styles on
+// a scaled Fig. 18 chain: the buffer each needs to reach the fused
+// algorithmic minimum.
+func BenchmarkAblation_FusionModes(b *testing.B) {
+	chain := fusion.MustChain("pair", 4096,
+		fusion.GEMMOp("g0", 4096, 512, 2048),
+		fusion.GEMMOp("g1", 4096, 2048, 512))
+	for i := 0; i < b.N; i++ {
+		tiled, err := fusion.TiledFusion(chain)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pipe, err := fusion.PipelinedFusion(chain)
+		if err != nil {
+			b.Fatal(err)
+		}
+		spill, err := fusion.TiledFusionWithPartialSpill(chain)
+		if err != nil {
+			b.Fatal(err)
+		}
+		untiled, err := fusion.UntiledFusion(chain)
+		if err != nil {
+			b.Fatal(err)
+		}
+		floor := chain.FusedAlgoMinBytes()
+		rows := fmt.Sprintf("fused algorithmic minimum: %s\n", shape.FormatBytes(floor))
+		for _, cs := range []struct {
+			name  string
+			curve *Curve
+		}{
+			{"tiled-sequential", tiled},
+			{"tiled+partial-spill", spill},
+			{"pipelined", pipe},
+			{"untiled", untiled},
+		} {
+			buf, ok := cs.curve.BufferFor(floor)
+			rows += fmt.Sprintf("%-20s min-buffer %12s  buffer-for-floor %12s (ok=%v)\n",
+				cs.name, shape.FormatBytes(cs.curve.MinBufferBytes()),
+				shape.FormatBytes(buf), ok)
+		}
+		emit(b.Name(), rows)
+	}
+}

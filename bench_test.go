@@ -1,0 +1,527 @@
+package orojenesis
+
+// One benchmark per table and figure of the paper's evaluation. Each
+// benchmark regenerates the figure's data series with this repo's models
+// and prints the rows once (so `go test -bench . | tee bench_output.txt`
+// doubles as the experiment log). Trace-driven and DSE experiments run at
+// documented reduced scales; EXPERIMENTS.md records paper-vs-measured.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/bound"
+	"repro/internal/cachesim"
+	"repro/internal/einsum"
+	"repro/internal/fusion"
+	"repro/internal/llm"
+	"repro/internal/oi"
+	"repro/internal/shape"
+	"repro/internal/simba"
+	"repro/internal/trace"
+)
+
+var printGate sync.Map
+
+// emit prints s once per benchmark name across all iterations.
+func emit(name, s string) {
+	if _, dup := printGate.LoadOrStore(name, true); !dup {
+		fmt.Printf("\n### %s\n%s", name, s)
+	}
+}
+
+func deriveCurve(e *einsum.Einsum) *Curve {
+	return bound.Derive(e, bound.Options{}).Curve
+}
+
+// BenchmarkFig01_SkiSlope16k1k1k regenerates Fig. 1: the ski-slope bound
+// for a 16k x 1k x 1k GEMM with its Gap 0 / Gap 1 annotations.
+func BenchmarkFig01_SkiSlope16k1k1k(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g := GEMM("gemm_16k_1k_1k", 16384, 1024, 1024)
+		c := deriveCurve(g)
+		gap0, _ := c.Gap0(c.MinBufferBytes() * 16)
+		gap1, _ := c.Gap1()
+		emit(b.Name(), fmt.Sprintf(
+			"points=%d algoMin=%s maxEffectual=%s gap0(small)=%.1fx gap1=%.3f\n%s",
+			c.Len(), shape.FormatBytes(c.AlgoMinBytes),
+			shape.FormatBytes(c.MaxEffectualBufferBytes()), gap0, gap1,
+			SummaryTable([]int64{64 << 10, 1 << 20, 8 << 20}, Series{Name: g.Name, Curve: c})))
+	}
+}
+
+// BenchmarkFig02_HardwareGap regenerates Fig. 2 with the cache-simulator
+// substrate: DRAM and L2 traffic of a concrete tiled GEMM vs the
+// algorithmic minimum (GEMM side scaled from 4k to 256, capacities scaled
+// by side^2 to preserve the operand-to-cache ratio).
+func BenchmarkFig02_HardwareGap(b *testing.B) {
+	const side = 256
+	for i := 0; i < b.N; i++ {
+		e := einsum.GEMM("g", side, side, side)
+		algoMin := e.AlgorithmicMinBytes()
+		g := &trace.TiledGEMM{
+			M: side, K: side, N: side,
+			M0: 32, K0: 32, N0: 32,
+			Order:       [3]string{"N", "M", "K"},
+			ElementSize: 2,
+		}
+		scale := float64(side) / 4096 * float64(side) / 4096
+		l2 := int64(40<<20*scale) / 64 * 64
+		l1 := int64(20.25*float64(1<<20)*scale) / 64 * 64
+		dram := simulateTrace(b, g, l2)
+		l2Traffic := simulateTrace(b, g, l1)
+		emit(b.Name(), fmt.Sprintf(
+			"algoMin=%s  DRAM(L2=%s)=%s (%.1fx)  L2(L1=%s)=%s (%.1fx)\n",
+			shape.FormatBytes(algoMin),
+			shape.FormatBytes(l2), shape.FormatBytes(dram), float64(dram)/float64(algoMin),
+			shape.FormatBytes(l1), shape.FormatBytes(l2Traffic), float64(l2Traffic)/float64(algoMin)))
+	}
+}
+
+func simulateTrace(b *testing.B, g *trace.TiledGEMM, cacheBytes int64) int64 {
+	ways := 16
+	for ways > 1 && (cacheBytes/64)%int64(ways) != 0 {
+		ways /= 2
+	}
+	c, err := cachesim.New(cachesim.Config{SizeBytes: cacheBytes, LineBytes: 64, Ways: ways})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := g.Emit(c.Access); err != nil {
+		b.Fatal(err)
+	}
+	c.Flush()
+	return c.Stats().DRAMBytes()
+}
+
+// BenchmarkFig03_MaxEffectualTeaser regenerates Fig. 3: the maximal
+// effectual buffer size normalized to total operand size for a mix of
+// workload types.
+func BenchmarkFig03_MaxEffectualTeaser(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := ""
+		workloads := []*einsum.Einsum{
+			GEMM("gemm-2k", 2048, 2048, 2048),
+			GEMM("gemm-16k_1k_1k", 16384, 1024, 1024),
+			BMM("bmm-h32", 32, 4096, 128, 4096),
+			Conv2D("conv3x3", ConvConfig{P: 16, Q: 16, N: 64, C: 64, R: 3, S: 3}),
+		}
+		for _, e := range workloads {
+			c := deriveCurve(e)
+			g1, _ := c.Gap1()
+			rows += fmt.Sprintf("%-18s maxEffectual=%12s / operands=%12s  ratio=%.3f\n",
+				e.Name, shape.FormatBytes(c.MaxEffectualBufferBytes()),
+				shape.FormatBytes(c.TotalOperandBytes), g1)
+		}
+		emit(b.Name(), rows)
+	}
+}
+
+// BenchmarkFig07_MultiLevel regenerates Fig. 7: probing one curve at
+// multiple capacities yields per-level bounds of a memory hierarchy.
+func BenchmarkFig07_MultiLevel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g := GEMM("gemm_16k_1k_1k", 16384, 1024, 1024)
+		c := deriveCurve(g)
+		probes := ProbeLevels(c, map[string]int64{
+			"RF(1KB)": 1 << 10, "L1(192KB)": 192 << 10, "L2(40MB)": 40 << 20,
+		})
+		rows := ""
+		for _, lb := range probes {
+			rows += fmt.Sprintf("%-10s -> bound %s (feasible=%v)\n",
+				lb.Level, shape.FormatBytes(lb.AccessBytes), lb.Feasible)
+		}
+		emit(b.Name(), rows)
+	}
+}
+
+// BenchmarkFig10_GEMMShapes regenerates Fig. 10: ski slopes and OI mesas
+// across GEMM shapes.
+func BenchmarkFig10_GEMMShapes(b *testing.B) {
+	shapes := []struct {
+		name    string
+		m, k, n int64
+	}{
+		{"1k", 1024, 1024, 1024},
+		{"2k", 2048, 2048, 2048},
+		{"4k", 4096, 4096, 4096},
+		{"8k", 8192, 8192, 8192},
+		{"4k_256_4k", 4096, 256, 4096},
+	}
+	for i := 0; i < b.N; i++ {
+		rows := fmt.Sprintf("%-12s %14s %14s %10s\n", "shape", "@1MB", "@16MB", "peakOI")
+		for _, s := range shapes {
+			g := GEMM(s.name, s.m, s.k, s.n)
+			c := deriveCurve(g)
+			a1, _ := c.AccessesAt(1 << 20)
+			a16, _ := c.AccessesAt(16 << 20)
+			rows += fmt.Sprintf("%-12s %14s %14s %10.1f\n", s.name,
+				shape.FormatBytes(a1), shape.FormatBytes(a16),
+				oi.PeakOI(c, g.MACs(), g.ElementSize))
+		}
+		emit(b.Name(), rows)
+	}
+}
+
+// BenchmarkFig11_MaxEffectualRatio regenerates Fig. 11: max effectual
+// buffer over total operand size, compared against the smallest-operand
+// prediction of Sec. IV-1.
+func BenchmarkFig11_MaxEffectualRatio(b *testing.B) {
+	shapes := []struct {
+		name    string
+		m, k, n int64
+	}{
+		{"M=K=N", 2048, 2048, 2048},
+		{"tall", 16384, 1024, 1024},
+		{"deep", 1024, 16384, 1024},
+		{"wide", 1024, 1024, 16384},
+		{"flat-K", 4096, 256, 4096},
+	}
+	for i := 0; i < b.N; i++ {
+		rows := fmt.Sprintf("%-8s %8s %18s\n", "shape", "ratio", "smallest-operand")
+		for _, s := range shapes {
+			g := GEMM(s.name, s.m, s.k, s.n)
+			c := deriveCurve(g)
+			ratio, _ := c.Gap1()
+			rows += fmt.Sprintf("%-8s %8.3f %18.3f\n", s.name, ratio,
+				float64(g.SmallestOperandElements()*g.ElementSize)/float64(g.TotalOperandBytes()))
+		}
+		emit(b.Name(), rows)
+	}
+}
+
+// BenchmarkFig12_ConvConfigs regenerates Fig. 12: convolution filter size,
+// stride and dilation sweeps (C=N=64, P=Q=16 as in the paper).
+func BenchmarkFig12_ConvConfigs(b *testing.B) {
+	configs := []struct {
+		name string
+		cfg  ConvConfig
+	}{
+		{"R1S1", ConvConfig{P: 16, Q: 16, N: 64, C: 64, R: 1, S: 1}},
+		{"R3S3", ConvConfig{P: 16, Q: 16, N: 64, C: 64, R: 3, S: 3}},
+		{"R5S5", ConvConfig{P: 16, Q: 16, N: 64, C: 64, R: 5, S: 5}},
+		{"R7S7", ConvConfig{P: 16, Q: 16, N: 64, C: 64, R: 7, S: 7}},
+		{"R3S3-T2", ConvConfig{P: 16, Q: 16, N: 64, C: 64, R: 3, S: 3, T: 2}},
+		{"R3S3-D2", ConvConfig{P: 16, Q: 16, N: 64, C: 64, R: 3, S: 3, D: 2}},
+	}
+	for i := 0; i < b.N; i++ {
+		rows := fmt.Sprintf("%-10s %14s %14s %10s\n", "conv", "@16KB", "@256KB", "peakOI")
+		for _, c := range configs {
+			e := Conv2D(c.name, c.cfg)
+			cv := deriveCurve(e)
+			s16, _ := cv.AccessesAt(16 << 10)
+			s256, _ := cv.AccessesAt(256 << 10)
+			rows += fmt.Sprintf("%-10s %14s %14s %10.1f\n", c.name,
+				shape.FormatBytes(s16), shape.FormatBytes(s256),
+				oi.PeakOI(cv, e.MACs(), e.ElementSize))
+		}
+		emit(b.Name(), rows)
+	}
+}
+
+// BenchmarkFig13_BMMHeads regenerates Fig. 13: BMM head-count sweep with
+// total compute fixed at 128 GOPs (M=N=4k, K=4k/H).
+func BenchmarkFig13_BMMHeads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := fmt.Sprintf("%-6s %14s %14s %12s %10s\n",
+			"heads", "@100KB", "@1MB", "maxEff", "peakOI")
+		for _, h := range []int64{1, 2, 4, 8, 16, 32} {
+			e := BMM(fmt.Sprintf("h%d", h), h, 4096, 4096/h, 4096)
+			c := deriveCurve(e)
+			a100k, _ := c.AccessesAt(100 << 10)
+			a1m, _ := c.AccessesAt(1 << 20)
+			rows += fmt.Sprintf("%-6d %14s %14s %12s %10.1f\n", h,
+				shape.FormatBytes(a100k), shape.FormatBytes(a1m),
+				shape.FormatBytes(c.MaxEffectualBufferBytes()),
+				oi.PeakOI(c, e.MACs(), e.ElementSize))
+		}
+		emit(b.Name(), rows)
+	}
+}
+
+// BenchmarkFig14_GroupedBMM regenerates Fig. 14: grouped BMM group-count
+// sweep (H=32, M=4k, K=128, N=4k).
+func BenchmarkFig14_GroupedBMM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := fmt.Sprintf("%-8s %14s %14s %10s\n", "groups", "@1MB", "@32MB", "peakOI")
+		for _, grp := range []int64{1, 4, 8, 16, 32} {
+			e := GroupedBMM(fmt.Sprintf("g%d", grp), 32, grp, 4096, 128, 4096)
+			c := deriveCurve(e)
+			a1, _ := c.AccessesAt(1 << 20)
+			a32, _ := c.AccessesAt(32 << 20)
+			rows += fmt.Sprintf("%-8d %14s %14s %10.1f\n", grp,
+				shape.FormatBytes(a1), shape.FormatBytes(a32),
+				oi.PeakOI(c, e.MACs(), e.ElementSize))
+		}
+		emit(b.Name(), rows)
+	}
+}
+
+// BenchmarkFig18_TwoGEMMFusion regenerates Fig. 18: fusing 32k_4k_16k and
+// 32k_16k_4k GEMMs — unfused vs untiled vs tiled fusion plus reduction
+// factors.
+func BenchmarkFig18_TwoGEMMFusion(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		chain := fusion.MustChain("pair", 32768,
+			fusion.GEMMOp("g0", 32768, 4096, 16384),
+			fusion.GEMMOp("g1", 32768, 16384, 4096))
+		perOp := chain.PerOpCurves(bound.Options{})
+		unfused := fusion.UnfusedCurve(perOp)
+		tiled, err := fusion.TiledFusion(chain)
+		if err != nil {
+			b.Fatal(err)
+		}
+		untiled, err := fusion.UntiledFusion(chain)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := SummaryTable([]int64{10 << 20, 256 << 20},
+			Series{Name: "unfused", Curve: unfused},
+			Series{Name: "untiled", Curve: untiled},
+			Series{Name: "tiled", Curve: tiled})
+		for _, mb := range []int64{4, 10, 32, 256, 512} {
+			u, ok1 := unfused.AccessesAt(mb << 20)
+			f, ok2 := tiled.AccessesAt(mb << 20)
+			if ok1 && ok2 {
+				rows += fmt.Sprintf("reduction @%4dMB: %.2fx\n", mb, float64(u)/float64(f))
+			}
+		}
+		emit(b.Name(), rows)
+	}
+}
+
+// BenchmarkFig20_MHAStrategies regenerates Fig. 20: unfused vs FLAT vs
+// FlashAttention bounds for GPT-3-6.7b attention.
+func BenchmarkFig20_MHAStrategies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := GPT3_6_7B().MHA()
+		unfused := m.UnfusedCurve(bound.Options{})
+		flat := m.FLATCurve()
+		flash := m.FlashAttentionCurve()
+		rows := SummaryTable([]int64{16 << 20, 32 << 20},
+			Series{Name: "unfused", Curve: unfused},
+			Series{Name: "FLAT", Curve: flat},
+			Series{Name: "FlashAttention", Curve: flash})
+		fl, _ := flat.AccessesAt(16 << 20)
+		fa, _ := flash.AccessesAt(16 << 20)
+		rows += fmt.Sprintf("FlashAttention advantage @16MB: %.1fx (paper: >6x)\n",
+			float64(fl)/float64(fa))
+		emit(b.Name(), rows)
+	}
+}
+
+// BenchmarkFig21_Segmentation regenerates Fig. 21: the six-Einsum
+// GPT-3-6.7b chain under no fusion, maximal tiled fusion, and the best
+// segmentation per capacity.
+func BenchmarkFig21_Segmentation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		study, err := llm.NewBlockStudy(llm.GPT3_6_7B(), bound.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		emit(b.Name(), SummaryTable([]int64{10 << 20, 50 << 20, 320 << 20},
+			Series{Name: "no-fusion", Curve: study.ChainUnfused},
+			Series{Name: "max-tiled-fusion", Curve: study.ChainFused},
+			Series{Name: "best-segmentation", Curve: study.ChainSegmented}))
+	}
+}
+
+// BenchmarkFig22_FullBlock regenerates Fig. 22: total backing-store
+// accesses for the whole GPT-3-6.7b building block.
+func BenchmarkFig22_FullBlock(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		study, err := llm.NewBlockStudy(llm.GPT3_6_7B(), bound.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := SummaryTable([]int64{50 << 20, 320 << 20},
+			Series{Name: "no-fusion", Curve: study.BlockUnfused},
+			Series{Name: "best-segmentation", Curve: study.BlockSegmented})
+		for _, mb := range []int64{50, 320, 1024} {
+			if r, ok := study.FusionReduction(mb << 20); ok {
+				sav, _ := study.AbsoluteSavingsBytes(mb << 20)
+				rows += fmt.Sprintf("reduction @%4dMB: %.2fx (%s saved)\n",
+					mb, r, shape.FormatBytes(sav))
+			}
+		}
+		rows += fmt.Sprintf("max effectual buffer: %s (paper: 320MB)\n",
+			shape.FormatBytes(study.MaxEffectualBufferBytes()))
+		emit(b.Name(), rows)
+	}
+}
+
+// BenchmarkFig23_PerfMesa regenerates Fig. 23: throughput vs buffer-area
+// ratio for a GF100-class die running the GPT-3-6.7b block.
+func BenchmarkFig23_PerfMesa(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		study, err := llm.NewBlockStudy(llm.GPT3_6_7B(), bound.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		spec := GF100()
+		ratios := Ratios(0.005, 0.995, 199)
+		rows := ""
+		var peaks []PerfPoint
+		for _, cs := range []struct {
+			name  string
+			curve *Curve
+		}{{"unfused", study.BlockUnfused}, {"fused", study.BlockSegmented}} {
+			mesa := PerformanceMesa(cs.curve, study.BlockMACs, spec, ratios)
+			best, ok := OptimalRatio(mesa)
+			if !ok {
+				b.Fatalf("%s: no feasible mesa point", cs.name)
+			}
+			peaks = append(peaks, best)
+			rows += fmt.Sprintf("%-8s optimal ratio %.3f buffer %12s -> %7.2f TMAC/s\n",
+				cs.name, best.BufferAreaRatio, shape.FormatBytes(best.BufferBytes),
+				best.Achieved/1e12)
+		}
+		rows += fmt.Sprintf("fused/unfused peak throughput: %.2fx (paper: 2.4x)\n",
+			peaks[1].Achieved/peaks[0].Achieved)
+		emit(b.Name(), rows)
+	}
+}
+
+// BenchmarkFig24a_CacheValidation regenerates Fig. 24a with the simulator
+// substrate: tuned tiled GEMMs across scaled GPU LLC capacities always
+// land on or above the Orojenesis bound.
+func BenchmarkFig24a_CacheValidation(b *testing.B) {
+	const side = 256
+	e := einsum.GEMM("g", side, side, side)
+	curve := deriveCurve(e)
+	gpus := []struct {
+		name string
+		llc  int64
+	}{
+		{"A2-like", 2 << 20}, {"A30-like", 24 << 20},
+		{"A100-like", 40 << 20}, {"H100-like", 50 << 20},
+	}
+	scale := float64(side) / 4096 * float64(side) / 4096
+	for i := 0; i < b.N; i++ {
+		rows := fmt.Sprintf("%-10s %12s %14s %14s %8s\n",
+			"config", "cache", "measured", "bound", "ratio")
+		for _, gpu := range gpus {
+			cache := int64(float64(gpu.llc)*scale) / 64 * 64
+			t0 := int64(2)
+			for 3*(2*t0)*(2*t0)*2 <= cache && 2*t0 <= side/2 {
+				t0 *= 2
+			}
+			g := &trace.TiledGEMM{
+				M: side, K: side, N: side,
+				M0: t0, K0: 32, N0: t0,
+				Order:       [3]string{"N", "M", "K"},
+				ElementSize: 2,
+			}
+			measured := simulateTrace(b, g, cache)
+			bnd, ok := curve.AccessesAt(cache)
+			if ok && measured < bnd {
+				b.Fatalf("%s: measured %d below bound %d", gpu.name, measured, bnd)
+			}
+			rows += fmt.Sprintf("%-10s %12s %14s %14s %8.2f\n", gpu.name,
+				shape.FormatBytes(cache), shape.FormatBytes(measured),
+				shape.FormatBytes(bnd), float64(measured)/float64(bnd))
+		}
+		emit(b.Name(), rows)
+	}
+}
+
+// BenchmarkFig24b_SimbaValidation regenerates Fig. 24b: the scatter of
+// Simba mappings across Global-Buffer sizes never undercuts the bound.
+func BenchmarkFig24b_SimbaValidation(b *testing.B) {
+	const side = 256
+	e := einsum.GEMM("g", side, side, side)
+	curve := deriveCurve(e)
+	g := simba.GEMM{M: side, K: side, N: side}
+	for i := 0; i < b.N; i++ {
+		rows := fmt.Sprintf("%-10s %10s %14s %10s\n", "GB", "mappings", "bestDRAM", "violations")
+		for _, gb := range []int64{128, 2048, 32 << 10, 512 << 10} {
+			arch := simba.Default(gb)
+			violations, total := 0, 0
+			bestDRAM := int64(-1)
+			simba.Mapspace(g, arch, func(m *simba.Mapping) {
+				r := simba.Evaluate(g, arch, m)
+				total++
+				if bestDRAM < 0 || r.DRAMAccessBytes < bestDRAM {
+					bestDRAM = r.DRAMAccessBytes
+				}
+				if bnd, ok := curve.AccessesAt(r.GBBytesUsed); ok && r.DRAMAccessBytes < bnd {
+					violations++
+				}
+			})
+			if violations > 0 {
+				b.Fatalf("GB %d: %d bound violations", gb, violations)
+			}
+			rows += fmt.Sprintf("%-10s %10d %14s %10d\n", shape.FormatBytes(gb),
+				total, shape.FormatBytes(bestDRAM), violations)
+		}
+		emit(b.Name(), rows)
+	}
+}
+
+// BenchmarkFig24c_FusedValidation regenerates Fig. 24c: fused vs unfused
+// two-GEMM bounds with measured Simba points above them.
+func BenchmarkFig24c_FusedValidation(b *testing.B) {
+	const side = 1024
+	for i := 0; i < b.N; i++ {
+		chain := fusion.MustChain("pair", side,
+			fusion.GEMMOp("g0", side, side, side),
+			fusion.GEMMOp("g1", side, side, side))
+		perOp := chain.PerOpCurves(bound.Options{})
+		unfusedBound := fusion.UnfusedCurve(perOp)
+		fusedBound, err := fusion.TiledFusion(chain)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g := simba.GEMM{M: side, K: side, N: side}
+		rows := ""
+		for _, gb := range []int64{32 << 10, 512 << 10} {
+			best := simba.SearchBest(g, simba.Default(gb))
+			measured := 2 * best.BestDRAMBytes
+			bnd, ok := unfusedBound.AccessesAt(gb)
+			if ok && measured < bnd {
+				b.Fatalf("measured unfused %d below bound %d at %d", measured, bnd, gb)
+			}
+			rows += fmt.Sprintf("unfused @GB %8s: measured %12s bound %12s\n",
+				shape.FormatBytes(gb), shape.FormatBytes(measured), shape.FormatBytes(bnd))
+		}
+		rows += fmt.Sprintf("fused bound floor %s @ %s | unfused floor %s\n",
+			shape.FormatBytes(fusedBound.MinAccessBytes()),
+			shape.FormatBytes(fusedBound.MaxEffectualBufferBytes()),
+			shape.FormatBytes(unfusedBound.MinAccessBytes()))
+		emit(b.Name(), rows)
+	}
+}
+
+// BenchmarkTable1_RuntimeComparison regenerates Table I: one Orojenesis
+// run vs a multi-design Simba DSE (at 1k GEMM scale, 10 designs, on this
+// machine).
+func BenchmarkTable1_RuntimeComparison(b *testing.B) {
+	const side = 1024
+	const designs = 10
+	for i := 0; i < b.N; i++ {
+		e := einsum.GEMM("g", side, side, side)
+		oro := bound.Derive(e, bound.Options{Workers: 1})
+
+		g := simba.GEMM{M: side, K: side, N: side}
+		gbSizes := make([]int64, designs)
+		for j := range gbSizes {
+			gbSizes[j] = 4096 << (uint(j) % 8)
+		}
+		var totalMappings int64
+		var totalSecs float64
+		for _, r := range simba.DSE(g, gbSizes) {
+			totalMappings += r.MappingsEvaluated
+			totalSecs += r.Elapsed.Seconds()
+		}
+		oroPer := oro.Stats.Elapsed.Seconds() / float64(oro.Stats.MappingsEvaluated) * 1e3
+		simbaPer := totalSecs / float64(totalMappings) * 1e3
+		emit(b.Name(), fmt.Sprintf(
+			"%-22s %12s %18s %12s\n%-22s %12d %18.5f %12.3f\n%-22s %12d %18.5f %12.3f\n%-22s %11.1fx %17.1fx %11.1fx\n",
+			"", "mappings", "per-mapping(ms)", "total(s)",
+			fmt.Sprintf("Simba (%d designs)", designs), totalMappings, simbaPer, totalSecs,
+			"Orojenesis", oro.Stats.MappingsEvaluated, oroPer, oro.Stats.Elapsed.Seconds(),
+			"Ratio", float64(totalMappings)/float64(oro.Stats.MappingsEvaluated),
+			simbaPer/oroPer, totalSecs/oro.Stats.Elapsed.Seconds()))
+	}
+}

@@ -1,0 +1,106 @@
+// Command fusionbounds derives multi-Einsum fusion bounds for GEMM chains
+// (Fig. 18, Sec. VI): the optimal unfused baseline, untiled fusion, tiled
+// fusion, and the best segmentation, plus the tiled-vs-unfused reduction
+// factors (Fig. 18b).
+//
+// Example (the paper's Fig. 18 pair):
+//
+//	fusionbounds -m 32768 -ops 4096x16384,16384x4096 -ascii
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	orojenesis "repro"
+	"repro/internal/cliutil"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fusionbounds: ")
+
+	m := flag.Int64("m", 32768, "shared row dimension M of the chain")
+	ops := flag.String("ops", "4096x16384,16384x4096", "comma-separated KxN per op")
+	einsums := flag.String("einsums", "", `semicolon-separated GEMM einsums, e.g. "C[m,n]=A[m,k]*W[k,n]{M=1024,K=1024,N=2048}; D[m,n]=C[m,k]*V[k,n]{M=1024,K=2048,N=1024}" (each op's K must equal its predecessor's N)`)
+	csv := flag.Bool("csv", false, "emit all curves as CSV")
+	ascii := flag.Bool("ascii", false, "render an ASCII chart")
+	reductions := flag.Bool("reductions", true, "print tiled-vs-unfused reduction factors")
+	flag.Parse()
+
+	var chain *orojenesis.Chain
+	var err error
+	if *einsums != "" {
+		chain, err = buildEinsumChain(*einsums)
+	} else {
+		chain, err = buildChain(*m, *ops)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := orojenesis.AnalyzeChain(chain, orojenesis.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("chain: %d ops over M=%d\n", chain.Len(), chain.M)
+	fmt.Printf("algorithmic min: unfused %d B, fused %d B\n", a.UnfusedAlgoMin, a.AlgoMin)
+
+	series := []orojenesis.Series{
+		{Name: "unfused", Curve: a.Unfused},
+		{Name: "untiled-fusion", Curve: a.Untiled},
+		{Name: "tiled-fusion", Curve: a.Tiled},
+		{Name: "best-segmentation", Curve: a.Best},
+	}
+	fmt.Print(orojenesis.SummaryTable([]int64{1 << 20, 10 << 20, 256 << 20}, series...))
+	if *ascii {
+		fmt.Print(orojenesis.Ascii(orojenesis.AsciiOptions{}, series...))
+	}
+	if *csv {
+		if err := orojenesis.WriteCSV(os.Stdout, series...); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *reductions {
+		fmt.Println("\nbuffer_bytes,tiled_vs_unfused_reduction")
+		for _, mb := range []int64{1, 4, 10, 32, 64, 128, 256, 512} {
+			buf := mb << 20
+			u, ok1 := a.Unfused.AccessesAt(buf)
+			f, ok2 := a.Tiled.AccessesAt(buf)
+			if !ok1 || !ok2 {
+				continue
+			}
+			fmt.Printf("%d,%.3f\n", buf, float64(u)/float64(f))
+		}
+	}
+}
+
+func buildEinsumChain(spec string) (*orojenesis.Chain, error) {
+	var es []*orojenesis.Einsum
+	for _, part := range strings.Split(spec, ";") {
+		e, err := orojenesis.ParseEinsum(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		es = append(es, e)
+	}
+	return orojenesis.ChainFromEinsums("chain", es...)
+}
+
+func buildChain(m int64, spec string) (*orojenesis.Chain, error) {
+	pairs, err := cliutil.ParseChainOps(spec)
+	if err != nil {
+		return nil, err
+	}
+	if len(pairs) < 2 {
+		return nil, fmt.Errorf("need at least two ops")
+	}
+	opsList := make([]orojenesis.Op, len(pairs))
+	for i, kn := range pairs {
+		opsList[i] = orojenesis.GEMMOp(fmt.Sprintf("op%d", i), m, kn[0], kn[1])
+	}
+	return orojenesis.NewChain("chain", m, opsList...)
+}

@@ -1,0 +1,156 @@
+// Command llmstudy runs the GPT-3-6.7b case study of Sec. VII: the MHA
+// fusion-strategy comparison (Fig. 20), the six-Einsum chain segmentation
+// study (Fig. 21), the full-block bound (Fig. 22) and the buffer-area
+// provisioning mesa (Fig. 23).
+//
+// Examples:
+//
+//	llmstudy -mha
+//	llmstudy -chain -scale 2
+//	llmstudy -block
+//	llmstudy -mesa
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	orojenesis "repro"
+	"repro/internal/shape"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("llmstudy: ")
+
+	mha := flag.Bool("mha", false, "Fig. 20: MHA fusion strategies")
+	chain := flag.Bool("chain", false, "Fig. 21: six-Einsum chain segmentation")
+	block := flag.Bool("block", false, "Fig. 22: full building-block bounds")
+	mesa := flag.Bool("mesa", false, "Fig. 23: buffer-area provisioning mesa")
+	scale := flag.Int64("scale", 1, "divide model dims by this power-of-two factor")
+	csv := flag.Bool("csv", false, "emit CSV instead of tables")
+	flag.Parse()
+
+	cfg := orojenesis.GPT3_6_7B()
+	if *scale > 1 {
+		cfg = cfg.Scaled(*scale)
+	}
+	if err := cfg.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	if !*mha && !*chain && !*block && !*mesa {
+		*mha, *chain, *block, *mesa = true, true, true, true
+	}
+
+	if *mha {
+		runMHA(cfg, *csv)
+	}
+	if *chain || *block || *mesa {
+		study, err := orojenesis.NewBlockStudy(cfg, orojenesis.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *chain {
+			runChain(study, *csv)
+		}
+		if *block {
+			runBlock(study, *csv)
+		}
+		if *mesa {
+			runMesa(study)
+		}
+	}
+}
+
+func runMHA(cfg orojenesis.LLMConfig, csv bool) {
+	fmt.Printf("== Fig. 20: MHA fusion strategies (%s) ==\n", cfg.Name)
+	m := cfg.MHA()
+	series := []orojenesis.Series{
+		{Name: "unfused", Curve: m.UnfusedCurve(orojenesis.Options{})},
+		{Name: "FLAT", Curve: m.FLATCurve()},
+		{Name: "FlashAttention", Curve: m.FlashAttentionCurve()},
+	}
+	if csv {
+		if err := orojenesis.WriteCSV(os.Stdout, series...); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Print(orojenesis.SummaryTable([]int64{1 << 20, 16 << 20, 32 << 20}, series...))
+	// The paper's headline: FLAT vs FlashAttention at 16 MB.
+	if fl, ok1 := series[1].Curve.AccessesAt(16 << 20); ok1 {
+		if fa, ok2 := series[2].Curve.AccessesAt(16 << 20); ok2 {
+			fmt.Printf("FlashAttention advantage at 16MB: %.1fx\n", float64(fl)/float64(fa))
+		}
+	}
+	fmt.Println()
+}
+
+func runChain(study *orojenesis.BlockStudy, csv bool) {
+	fmt.Printf("== Fig. 21: six-Einsum chain (%s) ==\n", study.Config.Name)
+	series := []orojenesis.Series{
+		{Name: "no-fusion", Curve: study.ChainUnfused},
+		{Name: "max-tiled-fusion", Curve: study.ChainFused},
+		{Name: "segmented-tiled-fusion", Curve: study.ChainSegmented},
+	}
+	if csv {
+		if err := orojenesis.WriteCSV(os.Stdout, series...); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Print(orojenesis.SummaryTable([]int64{10 << 20, 50 << 20, 320 << 20}, series...))
+	fmt.Println()
+}
+
+func runBlock(study *orojenesis.BlockStudy, csv bool) {
+	fmt.Printf("== Fig. 22: full building block (%s) ==\n", study.Config.Name)
+	series := []orojenesis.Series{
+		{Name: "no-fusion", Curve: study.BlockUnfused},
+		{Name: "max-tiled-fusion", Curve: study.BlockFused},
+		{Name: "segmented-tiled-fusion", Curve: study.BlockSegmented},
+	}
+	if csv {
+		if err := orojenesis.WriteCSV(os.Stdout, series...); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Print(orojenesis.SummaryTable([]int64{50 << 20, 320 << 20}, series...))
+	fmt.Printf("algo min: unfused %s, fused %s\n",
+		shape.FormatBytes(study.AlgoMinUnfusedBytes), shape.FormatBytes(study.AlgoMinFusedBytes))
+	fmt.Printf("max effectual buffer: %s\n", shape.FormatBytes(study.MaxEffectualBufferBytes()))
+	for _, mb := range []int64{50, 320} {
+		if r, ok := study.FusionReduction(mb << 20); ok {
+			sav, _ := study.AbsoluteSavingsBytes(mb << 20)
+			fmt.Printf("fusion reduction at %dMB: %.2fx (%s saved)\n", mb, r, shape.FormatBytes(sav))
+		}
+	}
+	fmt.Println()
+}
+
+func runMesa(study *orojenesis.BlockStudy) {
+	fmt.Printf("== Fig. 23: buffer-area provisioning (%s) ==\n", study.Config.Name)
+	spec := orojenesis.GF100()
+	ratios := orojenesis.Ratios(0.005, 0.995, 199)
+	for _, cs := range []struct {
+		name  string
+		curve *orojenesis.Curve
+	}{
+		{"unfused", study.BlockUnfused},
+		{"fused", study.BlockSegmented},
+	} {
+		mesaPts := orojenesis.PerformanceMesa(cs.curve, study.BlockMACs, spec, ratios)
+		best, ok := orojenesis.OptimalRatio(mesaPts)
+		if !ok {
+			fmt.Printf("%s: no feasible design point\n", cs.name)
+			continue
+		}
+		fmt.Printf("%-8s optimal buffer-area ratio %.3f (buffer %s, %d MACs) -> %.2f TMAC/s\n",
+			cs.name, best.BufferAreaRatio, shape.FormatBytes(best.BufferBytes),
+			best.MACUnits, best.Achieved/1e12)
+	}
+	fmt.Println()
+}

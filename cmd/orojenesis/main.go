@@ -1,0 +1,159 @@
+// Command orojenesis derives single-Einsum data-movement bounds: the
+// ski-slope curve (Fig. 1/10/12/13/14), the OI mesa (Fig. 8), multi-level
+// probes (Fig. 7) and the max-effectual-buffer ratio study (Fig. 11).
+//
+// Examples:
+//
+//	orojenesis -gemm 4096,4096,4096 -summary -probe L1=256KB,L2=40MB
+//	orojenesis -bmm 32,4096,128,4096 -csv
+//	orojenesis -gbmm 32,8,4096,128,4096 -ascii
+//	orojenesis -conv P=16,Q=16,N=64,C=64,R=3,S=3,T=1,D=1 -oi
+//	orojenesis -gemm 96,80,72 -imperfect 16   # smoothed (Ruby-style) curve
+//	orojenesis -ratio
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	orojenesis "repro"
+	"repro/internal/cliutil"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("orojenesis: ")
+
+	gemm := flag.String("gemm", "", "GEMM shape M,K,N")
+	bmm := flag.String("bmm", "", "BMM shape H,M,K,N")
+	gbmm := flag.String("gbmm", "", "grouped BMM shape H,G,M,K,N")
+	conv := flag.String("conv", "", "conv config P=..,Q=..,N=..,C=..,R=..,S=..[,T=..,D=..]")
+	einsumExpr := flag.String("einsum", "", `einsum notation, e.g. "B[m,n] = A[m,k] * W[k,n] {M=4096,K=4096,N=4096}"`)
+	csv := flag.Bool("csv", false, "emit the curve as CSV")
+	ascii := flag.Bool("ascii", false, "render an ASCII ski-slope chart")
+	summary := flag.Bool("summary", true, "print the summary table")
+	oiMesa := flag.Bool("oi", false, "emit the attainable-OI mesa as CSV")
+	probe := flag.String("probe", "", "probe levels, e.g. L1=256KB,L2=40MB")
+	ratio := flag.Bool("ratio", false, "run the Fig. 11 max-effectual-buffer ratio study")
+	imperfect := flag.Int("imperfect", 0, "extra imperfect-factor samples per rank (0 = perfect factors only)")
+	flag.Parse()
+
+	if *ratio {
+		runRatioStudy()
+		return
+	}
+
+	e, err := buildWorkload(*gemm, *bmm, *gbmm, *conv, *einsumExpr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := orojenesis.Analyze(e, orojenesis.Options{ImperfectExtra: *imperfect})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload: %s\n", e)
+	fmt.Printf("mappings evaluated: %d in %v\n", a.Stats.MappingsEvaluated, a.Stats.Elapsed)
+	fmt.Printf("MACs: %d  algorithmic OI: %.2f  peak attainable OI: %.2f\n",
+		a.MACs, a.AlgorithmicOI, a.PeakOI)
+	fmt.Printf("algorithmic min: %d B  max effectual buffer: %d B  gap1: %.3f\n",
+		a.AlgorithmicMinBytes, a.MaxEffectualBytes, a.Gap1)
+
+	series := orojenesis.Series{Name: e.Name, Curve: a.Curve}
+	if *summary {
+		fmt.Print(orojenesis.SummaryTable(
+			[]int64{1 << 16, 1 << 20, 1 << 24, 40 << 20}, series))
+	}
+	if *ascii {
+		fmt.Print(orojenesis.Ascii(orojenesis.AsciiOptions{}, series))
+	}
+	if *csv {
+		if err := orojenesis.WriteCSV(os.Stdout, series); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *oiMesa {
+		fmt.Println("buffer_bytes,oi_macs_per_element")
+		for _, p := range orojenesis.OIMesa(a.Curve, a.MACs, e.ElementSize) {
+			fmt.Printf("%d,%.4f\n", p.BufferBytes, p.OI)
+		}
+	}
+	if *probe != "" {
+		levels, err := cliutil.ParseLevels(*probe)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, lb := range orojenesis.ProbeLevels(a.Curve, levels) {
+			if lb.Feasible {
+				fmt.Printf("level %-6s cap %12d B -> bound %d B\n",
+					lb.Level, lb.CapacityBytes, lb.AccessBytes)
+			} else {
+				fmt.Printf("level %-6s cap %12d B -> infeasible\n", lb.Level, lb.CapacityBytes)
+			}
+		}
+	}
+}
+
+func buildWorkload(gemm, bmm, gbmm, conv, einsumExpr string) (*orojenesis.Einsum, error) {
+	switch {
+	case einsumExpr != "":
+		return orojenesis.ParseEinsum(einsumExpr)
+	case gemm != "":
+		d, err := cliutil.ParseDims(gemm, 3)
+		if err != nil {
+			return nil, err
+		}
+		return orojenesis.GEMM(fmt.Sprintf("gemm_%s", gemm), d[0], d[1], d[2]), nil
+	case bmm != "":
+		d, err := cliutil.ParseDims(bmm, 4)
+		if err != nil {
+			return nil, err
+		}
+		return orojenesis.BMM(fmt.Sprintf("bmm_%s", bmm), d[0], d[1], d[2], d[3]), nil
+	case gbmm != "":
+		d, err := cliutil.ParseDims(gbmm, 5)
+		if err != nil {
+			return nil, err
+		}
+		return orojenesis.GroupedBMM(fmt.Sprintf("gbmm_%s", gbmm), d[0], d[1], d[2], d[3], d[4]), nil
+	case conv != "":
+		cfg, err := cliutil.ParseConv(conv)
+		if err != nil {
+			return nil, err
+		}
+		return orojenesis.Conv2D("conv", cfg), nil
+	}
+	return nil, fmt.Errorf("specify a workload: -gemm, -bmm, -gbmm, -conv or -einsum (see -h)")
+}
+
+// runRatioStudy reproduces Fig. 11: the maximal effectual buffer size
+// normalized to the total operand size for a sweep of GEMM shapes.
+func runRatioStudy() {
+	shapes := []struct {
+		name    string
+		m, k, n int64
+	}{
+		{"square-1k", 1024, 1024, 1024},
+		{"square-2k", 2048, 2048, 2048},
+		{"square-4k", 4096, 4096, 4096},
+		{"tall-16k_1k_1k", 16384, 1024, 1024},
+		{"wide-1k_1k_16k", 1024, 1024, 16384},
+		{"deep-1k_16k_1k", 1024, 16384, 1024},
+		{"flat-4k_256_4k", 4096, 256, 4096},
+	}
+	fmt.Println("shape,max_effectual_bytes,total_operand_bytes,ratio,smallest_operand_ratio")
+	for _, s := range shapes {
+		g := orojenesis.GEMM(s.name, s.m, s.k, s.n)
+		a, err := orojenesis.Analyze(g, orojenesis.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ratio, _ := a.Curve.Gap1()
+		smallest := float64(g.SmallestOperandElements()*g.ElementSize) /
+			float64(g.TotalOperandBytes())
+		fmt.Printf("%s,%d,%d,%.4f,%.4f\n",
+			s.name, a.MaxEffectualBytes, g.TotalOperandBytes(), ratio, smallest)
+	}
+}

@@ -1,0 +1,179 @@
+// Command reproduce regenerates every figure's data series in one run and
+// writes them as CSV files into an output directory, mirroring the
+// paper's artifact appendix (which drives Jupyter notebooks to produce
+// the figures). An INDEX.md in the output directory maps each file to its
+// paper artifact.
+//
+//	reproduce -out results
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	orojenesis "repro"
+	"repro/internal/bound"
+	"repro/internal/fusion"
+	"repro/internal/llm"
+	"repro/internal/oi"
+)
+
+type artifact struct {
+	File  string
+	Paper string
+	Note  string
+}
+
+func main() {
+	out := flag.String("out", "results", "output directory")
+	scale := flag.Int64("scale", 1, "divide LLM dims by this power of two")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	var index []artifact
+	add := func(file, paper, note string, series ...orojenesis.Series) {
+		path := filepath.Join(*out, file)
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := orojenesis.WriteCSV(f, series...); err != nil {
+			log.Fatal(err)
+		}
+		index = append(index, artifact{File: file, Paper: paper, Note: note})
+		fmt.Printf("wrote %s (%s)\n", path, paper)
+	}
+
+	// Fig. 1 / Fig. 7: the 16k x 1k x 1k ski slope.
+	g1 := orojenesis.GEMM("gemm_16k_1k_1k", 16384, 1024, 1024)
+	add("fig01_skislope.csv", "Fig. 1/7", "ski-slope bound, probe at any level capacity",
+		orojenesis.Series{Name: g1.Name, Curve: orojenesis.Bound(g1, orojenesis.Options{})})
+
+	// Fig. 10: GEMM shapes.
+	var fig10 []orojenesis.Series
+	for _, side := range []int64{1024, 2048, 4096, 8192} {
+		g := orojenesis.GEMM(fmt.Sprintf("square_%d", side), side, side, side)
+		fig10 = append(fig10, orojenesis.Series{Name: g.Name, Curve: orojenesis.Bound(g, orojenesis.Options{})})
+	}
+	add("fig10_gemm_shapes.csv", "Fig. 10", "square GEMM sweep", fig10...)
+
+	// Fig. 12: convolutions.
+	var fig12 []orojenesis.Series
+	for _, c := range []struct {
+		name string
+		cfg  orojenesis.ConvConfig
+	}{
+		{"r1s1", orojenesis.ConvConfig{P: 16, Q: 16, N: 64, C: 64, R: 1, S: 1}},
+		{"r3s3", orojenesis.ConvConfig{P: 16, Q: 16, N: 64, C: 64, R: 3, S: 3}},
+		{"r5s5", orojenesis.ConvConfig{P: 16, Q: 16, N: 64, C: 64, R: 5, S: 5}},
+		{"r7s7", orojenesis.ConvConfig{P: 16, Q: 16, N: 64, C: 64, R: 7, S: 7}},
+		{"r3s3_t2", orojenesis.ConvConfig{P: 16, Q: 16, N: 64, C: 64, R: 3, S: 3, T: 2}},
+		{"r3s3_d2", orojenesis.ConvConfig{P: 16, Q: 16, N: 64, C: 64, R: 3, S: 3, D: 2}},
+	} {
+		e := orojenesis.Conv2D(c.name, c.cfg)
+		fig12 = append(fig12, orojenesis.Series{Name: c.name, Curve: orojenesis.Bound(e, orojenesis.Options{})})
+	}
+	add("fig12_conv.csv", "Fig. 12", "filter/stride/dilation sweep", fig12...)
+
+	// Fig. 13: BMM heads.
+	var fig13 []orojenesis.Series
+	for _, h := range []int64{1, 2, 4, 8, 16, 32} {
+		e := orojenesis.BMM(fmt.Sprintf("h%d", h), h, 4096, 4096/h, 4096)
+		fig13 = append(fig13, orojenesis.Series{Name: e.Name, Curve: orojenesis.Bound(e, orojenesis.Options{})})
+	}
+	add("fig13_bmm_heads.csv", "Fig. 13", "fixed 128 GOPs, K = 4096/heads", fig13...)
+
+	// Fig. 14: grouped BMM.
+	var fig14 []orojenesis.Series
+	for _, grp := range []int64{1, 4, 8, 16, 32} {
+		e := orojenesis.GroupedBMM(fmt.Sprintf("g%d", grp), 32, grp, 4096, 128, 4096)
+		fig14 = append(fig14, orojenesis.Series{Name: e.Name, Curve: orojenesis.Bound(e, orojenesis.Options{})})
+	}
+	add("fig14_grouped_bmm.csv", "Fig. 14", "H=32, M=4k, K=128, N=4k", fig14...)
+
+	// Fig. 18: two-GEMM fusion.
+	chain := fusion.MustChain("pair", 32768,
+		fusion.GEMMOp("g0", 32768, 4096, 16384),
+		fusion.GEMMOp("g1", 32768, 16384, 4096))
+	perOp := chain.PerOpCurves(bound.Options{})
+	tiled, err := fusion.TiledFusion(chain)
+	if err != nil {
+		log.Fatal(err)
+	}
+	untiled, err := fusion.UntiledFusion(chain)
+	if err != nil {
+		log.Fatal(err)
+	}
+	add("fig18_two_gemm_fusion.csv", "Fig. 18", "32k_4k_16k + 32k_16k_4k",
+		orojenesis.Series{Name: "unfused", Curve: fusion.UnfusedCurve(perOp)},
+		orojenesis.Series{Name: "untiled", Curve: untiled},
+		orojenesis.Series{Name: "tiled", Curve: tiled})
+
+	// Figs. 20-22: the LLM case study.
+	cfg := llm.GPT3_6_7B()
+	if *scale > 1 {
+		cfg = cfg.Scaled(*scale)
+	}
+	mha := cfg.MHA()
+	add("fig20_mha_strategies.csv", "Fig. 20", cfg.Name+" attention",
+		orojenesis.Series{Name: "unfused", Curve: mha.UnfusedCurve(bound.Options{})},
+		orojenesis.Series{Name: "flat", Curve: mha.FLATCurve()},
+		orojenesis.Series{Name: "flashattention", Curve: mha.FlashAttentionCurve()})
+
+	study, err := llm.NewBlockStudy(cfg, bound.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	add("fig21_chain_segmentation.csv", "Fig. 21", cfg.Name+" six-Einsum chain",
+		orojenesis.Series{Name: "no_fusion", Curve: study.ChainUnfused},
+		orojenesis.Series{Name: "max_tiled_fusion", Curve: study.ChainFused},
+		orojenesis.Series{Name: "segmented", Curve: study.ChainSegmented})
+	add("fig22_full_block.csv", "Fig. 22", cfg.Name+" full block",
+		orojenesis.Series{Name: "no_fusion", Curve: study.BlockUnfused},
+		orojenesis.Series{Name: "max_tiled_fusion", Curve: study.BlockFused},
+		orojenesis.Series{Name: "segmented", Curve: study.BlockSegmented})
+
+	// Fig. 23: performance mesa (x = ratio, y = achieved MACs/s).
+	mesaPath := filepath.Join(*out, "fig23_perf_mesa.csv")
+	mf, err := os.Create(mesaPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintln(mf, "series,buffer_area_ratio,achieved_macs_per_sec")
+	ratios := oi.Ratios(0.005, 0.995, 199)
+	for _, cs := range []struct {
+		name  string
+		curve *orojenesis.Curve
+	}{{"unfused", study.BlockUnfused}, {"fused", study.BlockSegmented}} {
+		for _, p := range oi.PerformanceMesa(cs.curve, study.BlockMACs, oi.GF100(), ratios) {
+			if p.Feasible {
+				fmt.Fprintf(mf, "%s,%.4f,%.4g\n", cs.name, p.BufferAreaRatio, p.Achieved)
+			}
+		}
+	}
+	mf.Close()
+	index = append(index, artifact{File: "fig23_perf_mesa.csv", Paper: "Fig. 23",
+		Note: "buffer-area ratio vs throughput, GF100 envelope"})
+	fmt.Printf("wrote %s (Fig. 23)\n", mesaPath)
+
+	// INDEX.md
+	idx, err := os.Create(filepath.Join(*out, "INDEX.md"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(idx, "# Reproduced artifacts (%s)\n\n", time.Now().Format(time.RFC3339))
+	fmt.Fprintf(idx, "| file | paper artifact | note |\n|---|---|---|\n")
+	for _, a := range index {
+		fmt.Fprintf(idx, "| %s | %s | %s |\n", a.File, a.Paper, a.Note)
+	}
+	idx.Close()
+	fmt.Printf("done in %v: %d artifacts in %s\n", time.Since(start), len(index), *out)
+}

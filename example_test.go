@@ -1,0 +1,87 @@
+package orojenesis_test
+
+import (
+	"fmt"
+
+	orojenesis "repro"
+)
+
+// ExampleAnalyze derives the ski-slope bound for a small GEMM and reads
+// the headline quantities off it.
+func ExampleAnalyze() {
+	g := orojenesis.GEMM("gemm", 64, 64, 64)
+	a, err := orojenesis.Analyze(g, orojenesis.Options{Workers: 1})
+	if err != nil {
+		panic(err)
+	}
+	acc, _ := a.Curve.AccessesAt(a.MaxEffectualBytes)
+	fmt.Println("accesses at max effectual == algorithmic min:", acc == a.AlgorithmicMinBytes)
+	fmt.Printf("peak OI: %.2f MACs/element\n", a.PeakOI)
+	// Output:
+	// accesses at max effectual == algorithmic min: true
+	// peak OI: 21.33 MACs/element
+}
+
+// ExampleParseEinsum builds a workload from the paper's notation.
+func ExampleParseEinsum() {
+	e, err := orojenesis.ParseEinsum("B[m,n] = A[m,k] * W[k,n] {M=128, K=64, N=32}")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("MACs:", e.MACs())
+	fmt.Println("algorithmic minimum bytes:", e.AlgorithmicMinBytes())
+	// Output:
+	// MACs: 262144
+	// algorithmic minimum bytes: 28672
+}
+
+// ExampleTiledFusion bounds a fused two-GEMM chain: the floor is the
+// fused algorithmic minimum, below what unfused execution can ever reach.
+func ExampleTiledFusion() {
+	chain := orojenesis.MustChain("pair", 64,
+		orojenesis.GEMMOp("g0", 64, 16, 64),
+		orojenesis.GEMMOp("g1", 64, 64, 16),
+	)
+	curve, err := orojenesis.TiledFusion(chain)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("fused floor == fused algo min:",
+		curve.MinAccessBytes() == chain.FusedAlgoMinBytes())
+	fmt.Println("beats unfused algo min:",
+		curve.MinAccessBytes() < chain.UnfusedAlgoMinBytes())
+	// Output:
+	// fused floor == fused algo min: true
+	// beats unfused algo min: true
+}
+
+// ExampleCurve_Gap0 shows the Gap 0 query: attainable accesses relative
+// to the algorithmic minimum at a given capacity.
+func ExampleCurve_Gap0() {
+	g := orojenesis.GEMM("gemm", 256, 256, 256)
+	a, err := orojenesis.Analyze(g, orojenesis.Options{Workers: 1})
+	if err != nil {
+		panic(err)
+	}
+	gap, ok := a.Curve.Gap0(a.Curve.MaxEffectualBufferBytes())
+	fmt.Printf("gap0 at max effectual: %.1f (feasible=%v)\n", gap, ok)
+	// Output:
+	// gap0 at max effectual: 1.0 (feasible=true)
+}
+
+// ExampleAnalyzeHierarchy extrapolates one curve to a multi-level memory
+// system with per-link traffic and energy lower bounds.
+func ExampleAnalyzeHierarchy() {
+	g := orojenesis.GEMM("gemm", 256, 256, 256)
+	c := orojenesis.Bound(g, orojenesis.Options{Workers: 1})
+	rep, err := orojenesis.AnalyzeHierarchy(c, orojenesis.EdgeLike(), g.MACs())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("links:", len(rep.Links))
+	fmt.Println("inner link carries more traffic:",
+		rep.Links[0].AccessBytes >= rep.Links[1].AccessBytes)
+	// Output:
+	// links: 2
+	// inner link carries more traffic: true
+}

@@ -1,0 +1,50 @@
+// convsweep reproduces the convolution study of Fig. 12: the effect of
+// filter size, stride and dilation on the ski-slope bound and the peak
+// attainable operational intensity.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	orojenesis "repro"
+)
+
+func main() {
+	configs := []struct {
+		name string
+		cfg  orojenesis.ConvConfig
+	}{
+		{"1x1", orojenesis.ConvConfig{P: 16, Q: 16, N: 64, C: 64, R: 1, S: 1}},
+		{"3x3", orojenesis.ConvConfig{P: 16, Q: 16, N: 64, C: 64, R: 3, S: 3}},
+		{"5x5", orojenesis.ConvConfig{P: 16, Q: 16, N: 64, C: 64, R: 5, S: 5}},
+		{"7x7", orojenesis.ConvConfig{P: 16, Q: 16, N: 64, C: 64, R: 7, S: 7}},
+		{"3x3 stride2", orojenesis.ConvConfig{P: 16, Q: 16, N: 64, C: 64, R: 3, S: 3, T: 2}},
+		{"3x3 dilation2", orojenesis.ConvConfig{P: 16, Q: 16, N: 64, C: 64, R: 3, S: 3, D: 2}},
+	}
+
+	fmt.Println("== Fig. 12: convolution configurations (C=N=64, P=Q=16) ==")
+	fmt.Printf("%-14s %12s %14s %14s %10s\n",
+		"config", "algo-min(B)", "bound@16KB(B)", "bound@256KB(B)", "peak OI")
+	var series []orojenesis.Series
+	for _, c := range configs {
+		e := orojenesis.Conv2D("conv-"+c.name, c.cfg)
+		a, err := orojenesis.Analyze(e, orojenesis.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		small, ok1 := a.Curve.AccessesAt(16 << 10)
+		large, ok2 := a.Curve.AccessesAt(256 << 10)
+		if !ok1 || !ok2 {
+			log.Fatalf("%s: probe infeasible", c.name)
+		}
+		fmt.Printf("%-14s %12d %14d %14d %10.1f\n",
+			c.name, a.AlgorithmicMinBytes, small, large, a.PeakOI)
+		series = append(series, orojenesis.Series{Name: c.name, Curve: a.Curve})
+	}
+	fmt.Println()
+	fmt.Println("larger filters: more accesses, steeper slopes, higher peak OI;")
+	fmt.Println("stride and dilation: slightly more input traffic, stride lowers peak OI")
+	fmt.Println()
+	fmt.Print(orojenesis.Ascii(orojenesis.AsciiOptions{Width: 70, Height: 18}, series[:4]...))
+}

@@ -1,0 +1,88 @@
+// llmblock runs the GPT-3-6.7b case study end to end through the public
+// API at a reduced scale: attention fusion strategies (Fig. 20), the
+// six-Einsum chain (Fig. 21), the full-block fusion bound (Fig. 22) and
+// the buffer-area provisioning decision (Fig. 23). Pass -full to run the
+// paper-scale model (a few seconds).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	orojenesis "repro"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run at full GPT-3-6.7b scale")
+	flag.Parse()
+
+	cfg := orojenesis.GPT3_6_7B()
+	if !*full {
+		cfg = cfg.Scaled(4)
+	}
+	fmt.Printf("workload: %s (l=%d, d=%d, %d heads x %d, hidden %d)\n\n",
+		cfg.Name, cfg.L(), cfg.D, cfg.Heads, cfg.HeadDim, cfg.Hidden)
+
+	// Fig. 20: attention fusion strategies.
+	mha := cfg.MHA()
+	flat := mha.FLATCurve()
+	flash := mha.FlashAttentionCurve()
+	probe := int64(16 << 20)
+	if !*full {
+		probe = 1 << 20
+	}
+	fl, ok1 := flat.AccessesAt(probe)
+	fa, ok2 := flash.AccessesAt(probe)
+	if ok1 && ok2 {
+		fmt.Printf("Fig. 20 | FlashAttention vs FLAT at %d B: %.1fx fewer accesses\n",
+			probe, float64(fl)/float64(fa))
+	}
+	fmt.Printf("Fig. 20 | both strategies converge at the max effectual buffer: FLAT %d B, Flash %d B\n\n",
+		flat.MaxEffectualBufferBytes(), flash.MaxEffectualBufferBytes())
+
+	// Figs. 21/22: the fused building block.
+	study, err := orojenesis.NewBlockStudy(cfg, orojenesis.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print("Fig. 21/22 | ", orojenesis.SummaryTable(
+		[]int64{probe, 20 * probe},
+		orojenesis.Series{Name: "no-fusion", Curve: study.BlockUnfused},
+		orojenesis.Series{Name: "max-tiled-fusion", Curve: study.BlockFused},
+		orojenesis.Series{Name: "best-segmentation", Curve: study.BlockSegmented},
+	))
+	maxEff := study.MaxEffectualBufferBytes()
+	if red, ok := study.FusionReduction(maxEff); ok {
+		fmt.Printf("Fig. 22 | fusion reduces block traffic up to %.1fx at the %d B max effectual buffer\n\n",
+			red, maxEff)
+	}
+
+	// Fig. 23: one-shot buffer-vs-MAC provisioning with the GF100 budget.
+	spec := orojenesis.GF100()
+	ratios := orojenesis.Ratios(0.005, 0.995, 199)
+	var peaks []orojenesis.PerfPoint
+	for _, cs := range []struct {
+		name  string
+		curve *orojenesis.Curve
+	}{
+		{"unfused", study.BlockUnfused},
+		{"fused", study.BlockSegmented},
+	} {
+		mesa := orojenesis.PerformanceMesa(cs.curve, study.BlockMACs, spec, ratios)
+		best, ok := orojenesis.OptimalRatio(mesa)
+		if !ok {
+			continue
+		}
+		peaks = append(peaks, best)
+		fmt.Printf("Fig. 23 | %-8s optimal buffer ratio %.2f -> %.2f TMAC/s (buffer %d B)\n",
+			cs.name, best.BufferAreaRatio, best.Achieved/1e12, best.BufferBytes)
+	}
+	if len(peaks) == 2 {
+		fmt.Printf("\nfusion improves peak throughput %.1fx at this scale", peaks[1].Achieved/peaks[0].Achieved)
+		if peaks[1].BufferAreaRatio < peaks[0].BufferAreaRatio {
+			fmt.Printf(" while needing less SRAM area (the paper's full-scale result)")
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,65 @@
+// modelzoo sweeps the workload catalog — ResNet-50 and VGG-16 conv
+// layers, the BERT/GPT-3 transformer family, and Llama-2-70B's
+// grouped-query attention — deriving the Orojenesis bound and the
+// attainable OI for each, the way an architect would size a shared
+// accelerator for a portfolio of networks.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	orojenesis "repro"
+)
+
+func main() {
+	fmt.Println("== CNN layers: bound at 256 KB and 2 MB on-chip buffers ==")
+	fmt.Printf("%-24s %14s %14s %10s %10s\n",
+		"layer", "@256KB", "@2MB", "peakOI", "gap1")
+	for _, l := range append(orojenesis.ResNet50(), orojenesis.VGG16()...) {
+		e := l.Einsum()
+		a, err := orojenesis.Analyze(e, orojenesis.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		small, _ := a.Curve.AccessesAt(256 << 10)
+		large, _ := a.Curve.AccessesAt(2 << 20)
+		fmt.Printf("%-24s %14d %14d %10.1f %10.3f\n",
+			e.Name, small, large, a.PeakOI, a.Gap1)
+	}
+
+	fmt.Println("\n== Transformer blocks: fused vs unfused at 64 MB ==")
+	fmt.Printf("%-14s %16s %16s %10s\n", "model", "unfused(B)", "fused(B)", "reduction")
+	for _, cfg := range orojenesis.TransformerBlocks() {
+		// Keep the sweep quick: shrink the two largest family members.
+		run := cfg
+		if cfg.D > 4096 {
+			run = cfg.Scaled(2)
+		}
+		study, err := orojenesis.NewBlockStudy(run, orojenesis.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		buf := int64(64 << 20)
+		u, ok1 := study.BlockUnfused.AccessesAt(buf)
+		f, ok2 := study.BlockSegmented.AccessesAt(buf)
+		if !ok1 || !ok2 {
+			fmt.Printf("%-14s %16s %16s %10s\n", run.Name, "-", "-", "-")
+			continue
+		}
+		fmt.Printf("%-14s %16d %16d %9.2fx\n", run.Name, u, f, float64(u)/float64(f))
+	}
+
+	fmt.Println("\n== Llama-2-70B grouped-query attention (seq 2048) ==")
+	gqa := orojenesis.Llama2_70B_GQA(2048)
+	mha := orojenesis.BMM("mha-equivalent", 64, 2048, 128, 2048)
+	for _, e := range []*orojenesis.Einsum{gqa, mha} {
+		a, err := orojenesis.Analyze(e, orojenesis.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		acc, _ := a.Curve.AccessesAt(8 << 20)
+		fmt.Printf("%-24s bound@8MB %14d B  peakOI %8.1f\n", e.Name, acc, a.PeakOI)
+	}
+	fmt.Println("GQA's 8 shared KV groups cut score-matrix weight traffic vs full MHA")
+}

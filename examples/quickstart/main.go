@@ -1,0 +1,51 @@
+// Quickstart: derive the ski-slope diagram for a single GEMM and read off
+// the paper's headline quantities — the attainable data-movement bound at
+// a given buffer capacity (Gap 0), the maximal effectual buffer size
+// (Gap 1) and the attainable operational intensity.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	orojenesis "repro"
+)
+
+func main() {
+	// The paper's Fig. 1 workload: a 16k x 1k x 1k GEMM.
+	g := orojenesis.GEMM("gemm_16k_1k_1k", 16384, 1024, 1024)
+
+	a, err := orojenesis.Analyze(g, orojenesis.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("workload:", g)
+	fmt.Printf("mapspace: %d Snowcat mappings traversed in %v\n\n",
+		a.Stats.MappingsEvaluated, a.Stats.Elapsed)
+
+	// Gap 0: how far the attainable bound sits above the algorithmic
+	// minimum at realistic buffer sizes.
+	for _, buf := range []int64{64 << 10, 1 << 20, 8 << 20, 40 << 20} {
+		acc, ok := a.Curve.AccessesAt(buf)
+		if !ok {
+			fmt.Printf("buffer %8d B: no mapping fits\n", buf)
+			continue
+		}
+		gap0, _ := a.Gap0(buf)
+		oi, _ := a.OIAt(buf)
+		fmt.Printf("buffer %8d B: bound %10d B  gap0 %6.2fx  attainable OI %7.1f\n",
+			buf, acc, gap0, oi)
+	}
+
+	// Gap 1: buffer needed for full reuse vs total operand size.
+	fmt.Printf("\nalgorithmic minimum:   %d B\n", a.AlgorithmicMinBytes)
+	fmt.Printf("max effectual buffer:  %d B (gap1 = %.3f of total operands)\n",
+		a.MaxEffectualBytes, a.Gap1)
+	fmt.Printf("peak attainable OI:    %.1f MACs/element (algorithmic: %.1f)\n\n",
+		a.PeakOI, a.AlgorithmicOI)
+
+	// The ski-slope diagram itself.
+	fmt.Print(orojenesis.Ascii(orojenesis.AsciiOptions{Width: 64, Height: 16},
+		orojenesis.Series{Name: "orojenesis bound", Curve: a.Curve}))
+}

@@ -1,0 +1,105 @@
+package orojenesis
+
+// Benchmarks for the systems built beyond the paper's figures: the Belady
+// motivation study, the hierarchy energy bounds and the three-level
+// composition gap. Each prints its series once, like the figure benches.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cachesim"
+	"repro/internal/shape"
+	"repro/internal/trace"
+)
+
+// BenchmarkExt_BeladyVsBound regenerates the Sec. II motivation study:
+// Belady-optimal traffic of two concrete mappings vs the bound.
+func BenchmarkExt_BeladyVsBound(b *testing.B) {
+	const side = 64
+	e := GEMM("g", side, side, side)
+	curve := Bound(e, Options{})
+	caps := []int64{1 << 10, 4 << 10, 16 << 10, 64 << 10}
+	tiled := &trace.TiledGEMM{M: side, K: side, N: side, M0: 8, K0: 8, N0: 8,
+		Order: [3]string{"N", "M", "K"}, ElementSize: 2}
+	naive := &trace.TiledGEMM{M: side, K: side, N: side, M0: 1, K0: side, N0: 1,
+		Order: [3]string{"K", "M", "N"}, ElementSize: 2}
+	for i := 0; i < b.N; i++ {
+		ct, err := cachesim.BeladyCurve(tiled, caps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cn, err := cachesim.BeladyCurve(naive, caps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := fmt.Sprintf("%-10s %12s %14s %14s\n", "capacity", "bound", "opt(tiled)", "opt(naive)")
+		for j, capacity := range caps {
+			bnd, _ := curve.AccessesAt(capacity)
+			if ct.Points[j].AccessBytes < bnd || cn.Points[j].AccessBytes < bnd {
+				b.Fatalf("Belady undercut the bound at %d", capacity)
+			}
+			rows += fmt.Sprintf("%-10s %12s %14s %14s\n",
+				shape.FormatBytes(capacity), shape.FormatBytes(bnd),
+				shape.FormatBytes(ct.Points[j].AccessBytes),
+				shape.FormatBytes(cn.Points[j].AccessBytes))
+		}
+		emit(b.Name(), rows)
+	}
+}
+
+// BenchmarkExt_HierarchyEnergy derives energy and bandwidth-time lower
+// bounds for a GEMM across the preset hierarchies.
+func BenchmarkExt_HierarchyEnergy(b *testing.B) {
+	g := GEMM("g", 1024, 1024, 1024)
+	curve := Bound(g, Options{})
+	for i := 0; i < b.N; i++ {
+		rows := fmt.Sprintf("%-12s %14s %14s %16s\n",
+			"hierarchy", "energy(uJ)", "time-LB(us)", "bottleneck")
+		for _, h := range []Hierarchy{A100Like(), TPULike(), EdgeLike()} {
+			rep, err := AnalyzeHierarchy(curve, h, g.MACs())
+			if err != nil {
+				b.Fatal(err)
+			}
+			rows += fmt.Sprintf("%-12s %14.2f %14.3f %16s\n",
+				h.Name, rep.TotalEnergyPJ/1e6, rep.TimeLowerBoundSec*1e6, rep.BottleneckLink)
+		}
+		emit(b.Name(), rows)
+	}
+}
+
+// BenchmarkExt_ThreeLevelCompositionGap quantifies the looseness of the
+// Fig. 7 composed probe with the jointly-achievable three-level bound.
+func BenchmarkExt_ThreeLevelCompositionGap(b *testing.B) {
+	g := GEMM("g", 64, 64, 64)
+	for i := 0; i < b.N; i++ {
+		r, err := DeriveThreeLevel(g, 128)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := fmt.Sprintf("three-level mappings: %d\n%-12s %14s %14s %8s\n",
+			r.Mappings, "L2 capacity", "free-L2", "joint-L2", "gap")
+		for _, c := range []int64{512, 2 << 10, 8 << 10, 32 << 10} {
+			gp := r.CompositionGap([]int64{c})[0]
+			if !gp.Feasible {
+				continue
+			}
+			rows += fmt.Sprintf("%-12s %14s %14s %7.2fx\n",
+				shape.FormatBytes(c), shape.FormatBytes(gp.FreeL2),
+				shape.FormatBytes(gp.JointL2), gp.Ratio)
+		}
+		emit(b.Name(), rows)
+	}
+}
+
+// BenchmarkExt_ImperfectSmoothing measures the smoothed Fig. 1-style
+// curve on an awkward (divisor-poor) shape.
+func BenchmarkExt_ImperfectSmoothing(b *testing.B) {
+	g := GEMM("g", 96, 80, 72)
+	for i := 0; i < b.N; i++ {
+		c := Bound(g, Options{ImperfectExtra: 24})
+		emit(b.Name(), fmt.Sprintf("imperfect curve: %d points, buf %s..%s\n",
+			c.Len(), shape.FormatBytes(c.MinBufferBytes()),
+			shape.FormatBytes(c.MaxEffectualBufferBytes())))
+	}
+}

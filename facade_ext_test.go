@@ -1,0 +1,155 @@
+package orojenesis
+
+// Tests for the extended facade surface: hierarchies, heuristic mappers,
+// the model catalog, three-level bounds, conv fusion and the parser.
+
+import (
+	"testing"
+)
+
+func TestFacadeHierarchies(t *testing.T) {
+	g := GEMM("g", 128, 128, 128)
+	c := Bound(g, Options{})
+	for _, h := range []Hierarchy{A100Like(), EdgeLike(), TPULike()} {
+		rep, err := AnalyzeHierarchy(c, h, g.MACs())
+		if err != nil {
+			t.Fatalf("%s: %v", h.Name, err)
+		}
+		if len(rep.Links) != len(h.Levels)-1 {
+			t.Fatalf("%s: %d links for %d levels", h.Name, len(rep.Links), len(h.Levels))
+		}
+	}
+}
+
+func TestFacadeHeuristics(t *testing.T) {
+	g := GEMM("g", 64, 64, 64)
+	exhaustive := Bound(g, Options{})
+	rc := RandomSearchCurve(g, 200, 3)
+	if rc.Empty() {
+		t.Fatal("empty random curve")
+	}
+	l := CompareSearch(exhaustive, rc)
+	if l.Max < 1 {
+		t.Fatalf("heuristic beat the bound: %+v", l)
+	}
+	hc := HillClimbCurve(g, []int64{1 << 10, 1 << 14}, 500, 3)
+	if hc.Empty() {
+		t.Fatal("empty hill-climb curve")
+	}
+}
+
+func TestFacadeModelCatalog(t *testing.T) {
+	if len(ResNet50()) == 0 || len(VGG16()) == 0 {
+		t.Fatal("empty CNN catalogs")
+	}
+	if len(TransformerBlocks()) < 5 {
+		t.Fatal("transformer catalog shrank")
+	}
+	for _, cfg := range []LLMConfig{BERTBase(128, 1), BERTLarge(128, 1), GPT3_13B(128, 1), GPT3_175B(128, 1)} {
+		if err := cfg.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := Llama2_70B_GQA(128).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeThreeLevel(t *testing.T) {
+	g := GEMM("g", 16, 16, 16)
+	r, err := DeriveThreeLevel(g, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DRAM.Empty() || r.L2.Empty() {
+		t.Fatal("empty three-level curves")
+	}
+	gaps := r.CompositionGap([]int64{256, 1024})
+	for _, gp := range gaps {
+		if gp.Feasible && gp.Ratio < 1 {
+			t.Fatalf("gap below 1: %+v", gp)
+		}
+	}
+}
+
+func TestFacadeConvChain(t *testing.T) {
+	cfg := ConvConfig{P: 16, Q: 16, N: 8, C: 8, R: 3, S: 3}
+	chain := MustChain("c", 16, ConvOp("a", cfg), ConvOp("b", cfg))
+	curve, err := TiledFusion(chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if curve.MinAccessBytes() != chain.FusedAlgoMinBytes() {
+		t.Fatal("conv chain fusion floor wrong")
+	}
+}
+
+func TestFacadeChainFromEinsums(t *testing.T) {
+	a, err := ParseEinsum("C[m,n]=A[m,k]*W[k,n]{M=64,K=16,N=64}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseEinsum("D[m,n]=C[m,k]*V[k,n]{M=64,K=64,N=16}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain, err := ChainFromEinsums("pair", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chain.Len() != 2 || chain.M != 64 {
+		t.Fatalf("chain = %+v", chain)
+	}
+	// Width mismatch rejected.
+	bad, _ := ParseEinsum("D[m,n]=C[m,k]*V[k,n]{M=64,K=32,N=16}")
+	if _, err := ChainFromEinsums("bad", a, bad); err == nil {
+		t.Fatal("mismatched chain accepted")
+	}
+	// Non-GEMM rejected.
+	conv, _ := ParseEinsum("B[p,q,n]=A[p+r,q+s,c]*W[c,n,r,s]{P=4,Q=4,N=4,C=4,R=3,S=3}")
+	if _, err := ChainFromEinsums("bad", conv); err == nil {
+		t.Fatal("non-GEMM chain accepted")
+	}
+}
+
+func TestFacadeFusionVariants(t *testing.T) {
+	chain := MustChain("pair", 64,
+		GEMMOp("g0", 64, 16, 64),
+		GEMMOp("g1", 64, 64, 16))
+	pipe, err := PipelinedFusion(chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spill, err := TiledFusionWithPartialSpill(chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiled, err := TiledFusion(chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pipe.MinBufferBytes() <= tiled.MinBufferBytes() {
+		t.Fatal("pipelined should need more buffer than sequential")
+	}
+	if spill.MinBufferBytes() > tiled.MinBufferBytes() {
+		t.Fatal("partial spill should not need more buffer")
+	}
+}
+
+func TestFacadeSpillOption(t *testing.T) {
+	g := GEMM("g", 32, 32, 32)
+	paper := Bound(g, Options{})
+	charged := Bound(g, Options{ChargeSpills: true})
+	if charged.MinAccessBytes() != paper.MinAccessBytes() {
+		t.Fatal("floors should agree (no spills at full buffering)")
+	}
+}
+
+func TestFacadeImperfectOption(t *testing.T) {
+	g := GEMM("g", 48, 36, 60)
+	perfect := Bound(g, Options{})
+	imperfect := Bound(g, Options{ImperfectExtra: 8})
+	if imperfect.Len() <= perfect.Len() {
+		t.Fatal("imperfect factors should add breakpoints")
+	}
+}

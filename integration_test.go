@@ -1,0 +1,198 @@
+package orojenesis_test
+
+// Integration tests: each encodes one of the paper's qualitative claims
+// as an executable assertion, driven entirely through the public API at
+// test-friendly scales.
+
+import (
+	"strings"
+	"testing"
+
+	orojenesis "repro"
+)
+
+// Fig. 18: tiled fusion loses to unfused mappings below a crossover
+// capacity and wins above it.
+func TestIntegration_FusionCrossover(t *testing.T) {
+	chain := orojenesis.MustChain("pair", 4096,
+		orojenesis.GEMMOp("g0", 4096, 512, 2048),
+		orojenesis.GEMMOp("g1", 4096, 2048, 512),
+	)
+	a, err := orojenesis.AnalyzeChain(chain, orojenesis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fusionLoses, fusionWins bool
+	for _, p := range a.Unfused.Points() {
+		f, ok := a.Tiled.AccessesAt(p.BufferBytes)
+		if !ok {
+			continue
+		}
+		if f > p.AccessBytes {
+			fusionLoses = true
+		}
+		if f < p.AccessBytes {
+			fusionWins = true
+		}
+	}
+	if !fusionLoses || !fusionWins {
+		t.Fatalf("expected a crossover: loses=%v wins=%v", fusionLoses, fusionWins)
+	}
+}
+
+// Fig. 13: more heads at fixed total compute -> more traffic at equal
+// capacity and lower peak OI.
+func TestIntegration_BMMHeadTrends(t *testing.T) {
+	var prevAcc int64 = -1
+	prevOI := 1e18
+	for _, h := range []int64{1, 4, 16} {
+		e := orojenesis.BMM("b", h, 512, 512/h, 512)
+		a, err := orojenesis.Analyze(e, orojenesis.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc, ok := a.Curve.AccessesAt(16 << 10)
+		if !ok {
+			t.Fatalf("h=%d: probe infeasible", h)
+		}
+		if prevAcc >= 0 && acc < prevAcc {
+			t.Fatalf("h=%d: traffic fell with more heads: %d < %d", h, acc, prevAcc)
+		}
+		if a.PeakOI >= prevOI {
+			t.Fatalf("h=%d: peak OI did not fall: %f >= %f", h, a.PeakOI, prevOI)
+		}
+		prevAcc, prevOI = acc, a.PeakOI
+	}
+}
+
+// Fig. 14: fewer groups (MQA/GQA) never move more data, the ordering
+// MQA <= GQA <= MHA holds pointwise, and the absolute savings are capped
+// by the weight-size difference — on the paper's log axes the curves
+// therefore converge wherever totals dwarf that difference.
+func TestIntegration_GroupedBMMOrdering(t *testing.T) {
+	mqaE := orojenesis.GroupedBMM("mqa", 16, 1, 256, 64, 256)
+	gqaE := orojenesis.GroupedBMM("gqa", 16, 4, 256, 64, 256)
+	mhaE := orojenesis.GroupedBMM("mha", 16, 16, 256, 64, 256)
+	mqa := orojenesis.Bound(mqaE, orojenesis.Options{})
+	gqa := orojenesis.Bound(gqaE, orojenesis.Options{})
+	mha := orojenesis.Bound(mhaE, orojenesis.Options{})
+
+	wDiff := mhaE.AlgorithmicMinBytes() - mqaE.AlgorithmicMinBytes()
+	for _, buf := range []int64{4 << 10, 32 << 10, 256 << 10, 4 << 20} {
+		a, ok1 := mha.AccessesAt(buf)
+		g, ok2 := gqa.AccessesAt(buf)
+		b, ok3 := mqa.AccessesAt(buf)
+		if !ok1 || !ok2 || !ok3 {
+			t.Fatalf("probe %d infeasible", buf)
+		}
+		if !(b <= g && g <= a) {
+			t.Fatalf("ordering violated at %d: mqa %d gqa %d mha %d", buf, b, g, a)
+		}
+		if a-b > 2*wDiff {
+			t.Fatalf("savings %d exceed twice the weight-size difference %d", a-b, wDiff)
+		}
+	}
+}
+
+// The parser and the builders describe identical workloads: their curves
+// match point for point.
+func TestIntegration_ParserMatchesBuilders(t *testing.T) {
+	parsed, err := orojenesis.ParseEinsum(
+		"B[p,q,n] = A[2p+2r, 2q+2s, c] * W[c,n,r,s] {P=8,Q=8,N=8,C=8,R=3,S=3}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	built := orojenesis.Conv2D("conv",
+		orojenesis.ConvConfig{P: 8, Q: 8, N: 8, C: 8, R: 3, S: 3, T: 2, D: 2})
+	cp := orojenesis.Bound(parsed, orojenesis.Options{})
+	cb := orojenesis.Bound(built, orojenesis.Options{})
+	if cp.Len() != cb.Len() {
+		t.Fatalf("curve lengths differ: %d vs %d", cp.Len(), cb.Len())
+	}
+	for i, p := range cp.Points() {
+		if p != cb.Points()[i] {
+			t.Fatalf("point %d differs: %v vs %v", i, p, cb.Points()[i])
+		}
+	}
+}
+
+// Curves survive a CSV round trip through the public API.
+func TestIntegration_CurveSerialization(t *testing.T) {
+	c := orojenesis.Bound(orojenesis.GEMM("g", 128, 128, 128), orojenesis.Options{})
+	var b strings.Builder
+	if _, err := c.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	back, err := orojenesis.ReadCurveCSV(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range c.Points() {
+		got, ok := back.AccessesAt(p.BufferBytes)
+		if !ok || got != p.AccessBytes {
+			t.Fatalf("round trip broke AccessesAt(%d): (%d,%v)", p.BufferBytes, got, ok)
+		}
+	}
+}
+
+// Fused execution lower-bounds strictly less data-movement energy on an
+// edge hierarchy than unfused execution.
+func TestIntegration_FusionSavesEnergy(t *testing.T) {
+	cfg := orojenesis.ConvConfig{P: 28, Q: 28, N: 32, C: 32, R: 3, S: 3}
+	chain := orojenesis.MustChain("stage", 28,
+		orojenesis.ConvOp("a", cfg), orojenesis.ConvOp("b", cfg))
+	a, err := orojenesis.AnalyzeChain(chain, orojenesis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	macs := chain.Ops[0].Ref.MACs() * 2
+	h := orojenesis.EdgeLike()
+	ru, err := orojenesis.AnalyzeHierarchy(a.Unfused, h, macs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := orojenesis.AnalyzeHierarchy(a.Best, h, macs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf.TotalEnergyPJ >= ru.TotalEnergyPJ {
+		t.Fatalf("fusion should lower the energy bound: %f >= %f",
+			rf.TotalEnergyPJ, ru.TotalEnergyPJ)
+	}
+}
+
+// Fig. 8: the OI mesa is non-decreasing in buffer size and capped by the
+// algorithmic OI.
+func TestIntegration_OIMesaShape(t *testing.T) {
+	g := orojenesis.GEMM("g", 256, 256, 256)
+	a, err := orojenesis.Analyze(g, orojenesis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mesa := orojenesis.OIMesa(a.Curve, a.MACs, g.ElementSize)
+	for i, p := range mesa {
+		if p.OI > a.AlgorithmicOI+1e-9 {
+			t.Fatalf("mesa point above the algorithmic OI: %f > %f", p.OI, a.AlgorithmicOI)
+		}
+		if i > 0 && p.OI < mesa[i-1].OI {
+			t.Fatal("mesa not monotone")
+		}
+	}
+	if mesa[len(mesa)-1].OI != a.PeakOI {
+		t.Fatal("mesa top != peak OI")
+	}
+}
+
+// Table I shape: one Orojenesis run is drastically cheaper than even a
+// tiny mapping-aware DSE, and the heuristic short-cuts stay above it.
+func TestIntegration_HeuristicsNeverBeatBound(t *testing.T) {
+	g := orojenesis.GEMM("g", 256, 256, 256)
+	exhaustive := orojenesis.Bound(g, orojenesis.Options{})
+	for seed := int64(1); seed <= 3; seed++ {
+		rc := orojenesis.RandomSearchCurve(g, 500, seed)
+		l := orojenesis.CompareSearch(exhaustive, rc)
+		if l.Max < 1 {
+			t.Fatalf("seed %d: heuristic below the bound (max %f)", seed, l.Max)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+// Package bound implements the Orojenesis flow of Fig. 5: traverse the
+// complete Snowcat mapspace of a workload, evaluate every mapping's buffer
+// size requirement and backing-store access count, and keep the Pareto
+// frontier — the ski-slope curve that no mapping of the algorithm can beat.
+package bound
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/einsum"
+	"repro/internal/mapping"
+	"repro/internal/pareto"
+	"repro/internal/shape"
+	"repro/internal/snowcat"
+)
+
+// Stats reports the cost of a bound derivation, used by the Table I
+// runtime comparison.
+type Stats struct {
+	MappingsEvaluated int64
+	Elapsed           time.Duration
+}
+
+// Result bundles the derived ski-slope curve with traversal statistics.
+type Result struct {
+	Curve *pareto.Curve
+	Stats Stats
+}
+
+// Options tunes the traversal.
+type Options struct {
+	// Workers sets the number of parallel evaluation goroutines.
+	// Zero means GOMAXPROCS.
+	Workers int
+
+	// ImperfectExtra, when positive, widens the mapspace with imperfect
+	// factorizations: that many geometrically spaced non-divisor inner
+	// tile sizes are added per rank (the Ruby smoothing extension cited
+	// by the paper). The resulting curve dominates the perfect-factor
+	// curve and has many more breakpoints.
+	ImperfectExtra int
+
+	// ChargeSpills switches to physical partial-sum accounting: spilled
+	// output partials are charged a reload in addition to the write. The
+	// default (false) matches the paper's one-count-per-transfer model.
+	// Not supported together with ImperfectExtra.
+	ChargeSpills bool
+}
+
+// Derive runs the Orojenesis flow for a single Einsum and returns its
+// ski-slope curve annotated with the workload's algorithmic minimum.
+func Derive(e *einsum.Einsum, opts Options) Result {
+	start := time.Now()
+	if opts.ImperfectExtra > 0 {
+		return deriveImperfect(e, opts, start)
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Parallelize over the split choices of the first rank: each worker
+	// enumerates a sub-Einsum space with that rank's split pinned.
+	firstSplits := shape.Splits(e.Ranks[0].Shape)
+	if workers > len(firstSplits) {
+		workers = len(firstSplits)
+	}
+
+	type partial struct {
+		curve *pareto.Curve
+		count int64
+	}
+	jobs := make(chan shape.Split, len(firstSplits))
+	results := make(chan partial, workers)
+	for _, s := range firstSplits {
+		jobs <- s
+	}
+	close(jobs)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b := pareto.NewBuilder()
+			ev := snowcat.NewEvaluator(e)
+			eval := ev.EvaluateCompact
+			if opts.ChargeSpills {
+				eval = ev.EvaluateCompactSpillCharged
+			}
+			var count int64
+			for s := range jobs {
+				mapping.SpacePinned(e, s, func(m *mapping.Mapping) {
+					buf, acc := eval(m)
+					b.Add(buf, acc)
+					count++
+				})
+			}
+			results <- partial{curve: b.Curve(), count: count}
+		}()
+	}
+	wg.Wait()
+	close(results)
+
+	merged := pareto.NewBuilder()
+	var total int64
+	for p := range results {
+		merged.AddCurve(p.curve)
+		total += p.count
+	}
+	curve := merged.Curve()
+	curve.AlgoMinBytes = e.AlgorithmicMinBytes()
+	curve.TotalOperandBytes = e.TotalOperandBytes()
+	return Result{
+		Curve: curve,
+		Stats: Stats{MappingsEvaluated: total, Elapsed: time.Since(start)},
+	}
+}
+
+// deriveImperfect runs the widened imperfect-factor traversal. The
+// perfect-factor space is a subset of the imperfect one, so the result
+// dominates the perfect-factor curve pointwise.
+func deriveImperfect(e *einsum.Einsum, opts Options, start time.Time) Result {
+	b := pareto.NewBuilder()
+	ev := snowcat.NewEvaluator(e)
+	var count int64
+	mapping.SpaceImperfect(e, opts.ImperfectExtra, func(m *mapping.Mapping) {
+		buf, acc := ev.EvaluateImperfectCompact(m)
+		b.Add(buf, acc)
+		count++
+	})
+	curve := b.Curve()
+	curve.AlgoMinBytes = e.AlgorithmicMinBytes()
+	curve.TotalOperandBytes = e.TotalOperandBytes()
+	return Result{
+		Curve: curve,
+		Stats: Stats{MappingsEvaluated: count, Elapsed: time.Since(start)},
+	}
+}
+
+// LevelBound is one probe of the ski-slope curve for a level of a memory
+// hierarchy (Fig. 7): with CapacityBytes of aggregate storage at a level,
+// traffic to the next-outer level is bounded below by AccessBytes.
+type LevelBound struct {
+	Level         string
+	CapacityBytes int64
+	AccessBytes   int64
+	Feasible      bool
+}
+
+// ProbeLevels reads the curve at each level's capacity, yielding the
+// multi-level data movement bounds of Fig. 7. Per Sec. III-B the composed
+// multi-level bound is valid but not guaranteed tight.
+func ProbeLevels(c *pareto.Curve, levels map[string]int64) []LevelBound {
+	out := make([]LevelBound, 0, len(levels))
+	for name, capacity := range levels {
+		acc, ok := c.AccessesAt(capacity)
+		out = append(out, LevelBound{
+			Level:         name,
+			CapacityBytes: capacity,
+			AccessBytes:   acc,
+			Feasible:      ok,
+		})
+	}
+	return out
+}
+
+// GEMMMaxEffectualElements is the closed-form maximal effectual buffer size
+// for a GEMM from Sec. IV-1: the size of its smallest operand plus the size
+// of its smallest rank plus one, in elements.
+func GEMMMaxEffectualElements(m, k, n int64) int64 {
+	smallestOperand := shape.Min(m*k, shape.Min(k*n, m*n))
+	smallestRank := shape.Min(m, shape.Min(k, n))
+	return smallestOperand + smallestRank + 1
+}
+
+// GEMMPeakOI is the perfect-reuse peak operational intensity of a GEMM in
+// MACs per element: MKN / (MK + KN + MN). Sec. IV-1 shows it converges to
+// the smallest dimension for oblong shapes.
+func GEMMPeakOI(m, k, n int64) float64 {
+	return float64(m*k*n) / float64(m*k+k*n+m*n)
+}

@@ -1,0 +1,82 @@
+package bound
+
+import (
+	"testing"
+
+	"repro/internal/einsum"
+	"repro/internal/mapping"
+)
+
+func TestImperfectCandidates(t *testing.T) {
+	c := mapping.ImperfectCandidates(12, 0)
+	if len(c) != 6 {
+		t.Fatalf("extra=0 should be just divisors: %v", c)
+	}
+	c = mapping.ImperfectCandidates(100, 16)
+	if len(c) <= 9 {
+		t.Fatalf("extra=16 should widen beyond the 9 divisors of 100: %v", c)
+	}
+	for i, v := range c {
+		if v < 1 || v > 100 {
+			t.Fatalf("candidate %d out of range: %v", v, c)
+		}
+		if i > 0 && c[i-1] >= v {
+			t.Fatalf("candidates not strictly ascending: %v", c)
+		}
+	}
+}
+
+func TestImperfectDominatesPerfect(t *testing.T) {
+	// A prime-ish shape where perfect factors are scarce benefits most.
+	g := einsum.GEMM("g", 96, 80, 72)
+	perfect := Derive(g, Options{Workers: 1}).Curve
+	imperfect := Derive(g, Options{Workers: 1, ImperfectExtra: 12}).Curve
+
+	if imperfect.Len() <= perfect.Len() {
+		t.Fatalf("imperfect curve should have more breakpoints: %d vs %d",
+			imperfect.Len(), perfect.Len())
+	}
+	// Pointwise dominance at the perfect curve's breakpoints.
+	for _, p := range perfect.Points() {
+		acc, ok := imperfect.AccessesAt(p.BufferBytes)
+		if !ok || acc > p.AccessBytes {
+			t.Fatalf("imperfect curve worse at %d: (%d,%v) vs %d",
+				p.BufferBytes, acc, ok, p.AccessBytes)
+		}
+	}
+	// Floors agree: full buffering is in both spaces.
+	if imperfect.MinAccessBytes() != g.AlgorithmicMinBytes() {
+		t.Fatalf("imperfect floor %d != algo min %d",
+			imperfect.MinAccessBytes(), g.AlgorithmicMinBytes())
+	}
+	if imperfect.MinAccessBytes() != perfect.MinAccessBytes() {
+		t.Fatal("floors disagree")
+	}
+}
+
+func TestImperfectNeverBelowAlgoMin(t *testing.T) {
+	for _, e := range []*einsum.Einsum{
+		einsum.GEMM("g", 48, 36, 60),
+		einsum.BMM("b", 6, 24, 12, 24),
+		einsum.Conv2D("c", einsum.ConvConfig{P: 6, Q: 6, N: 8, C: 8, R: 3, S: 3, T: 2, D: 1}),
+	} {
+		c := Derive(e, Options{Workers: 1, ImperfectExtra: 8}).Curve
+		for _, p := range c.Points() {
+			if p.AccessBytes < e.AlgorithmicMinBytes() {
+				t.Fatalf("%s: point %+v below algorithmic minimum %d",
+					e.Name, p, e.AlgorithmicMinBytes())
+			}
+		}
+	}
+}
+
+func TestImperfectSmoothsOblongGEMM(t *testing.T) {
+	// With imperfect factors, the curve should offer strictly more buffer
+	// breakpoints between the extremes.
+	g := einsum.GEMM("g", 128, 128, 128)
+	perfect := Derive(g, Options{Workers: 1}).Curve
+	imperfect := Derive(g, Options{Workers: 1, ImperfectExtra: 24}).Curve
+	if imperfect.Len() < perfect.Len()*2 {
+		t.Fatalf("expected a much denser curve: %d vs %d", imperfect.Len(), perfect.Len())
+	}
+}

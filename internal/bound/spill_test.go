@@ -1,0 +1,50 @@
+package bound
+
+import (
+	"testing"
+
+	"repro/internal/einsum"
+)
+
+func TestSpillChargedCurveDominatedByPaperCurve(t *testing.T) {
+	g := einsum.GEMM("g", 64, 64, 64)
+	paper := Derive(g, Options{Workers: 1}).Curve
+	charged := Derive(g, Options{Workers: 1, ChargeSpills: true}).Curve
+
+	// Charging spills can only raise access counts: at every charged
+	// breakpoint the paper-model bound is at most the charged value.
+	for _, p := range charged.Points() {
+		base, ok := paper.AccessesAt(p.BufferBytes)
+		if !ok || base > p.AccessBytes {
+			t.Fatalf("paper model above spill-charged at %d: (%d,%v) vs %d",
+				p.BufferBytes, base, ok, p.AccessBytes)
+		}
+	}
+	// Both floors are the algorithmic minimum: full buffering never
+	// spills.
+	if charged.MinAccessBytes() != g.AlgorithmicMinBytes() {
+		t.Fatalf("charged floor %d != algo min %d",
+			charged.MinAccessBytes(), g.AlgorithmicMinBytes())
+	}
+}
+
+func TestSpillChargingMattersOnlyUnderPressure(t *testing.T) {
+	// With K small relative to M and N, optimal mappings avoid output
+	// spills entirely and the two models agree everywhere.
+	g := einsum.GEMM("g", 64, 4, 64)
+	paper := Derive(g, Options{Workers: 1}).Curve
+	charged := Derive(g, Options{Workers: 1, ChargeSpills: true}).Curve
+	for _, p := range paper.Points() {
+		c, ok := charged.AccessesAt(p.BufferBytes)
+		if !ok {
+			t.Fatalf("charged curve infeasible at %d", p.BufferBytes)
+		}
+		if c != p.AccessBytes {
+			// The optimum may differ; it must never be cheaper.
+			if c < p.AccessBytes {
+				t.Fatalf("charged cheaper than paper at %d: %d < %d",
+					p.BufferBytes, c, p.AccessBytes)
+			}
+		}
+	}
+}

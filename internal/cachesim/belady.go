@@ -1,0 +1,132 @@
+package cachesim
+
+// Belady simulates a fully-associative cache with Belady's optimal (OPT)
+// replacement policy over a recorded trace: on a miss with a full cache,
+// the line whose next use is furthest in the future is evicted. The paper
+// cites Belady as the classic capacity-sensitive limit that nevertheless
+// models only a *single* implementation — exactly the comparison this
+// simulator enables against the mapping-independent Orojenesis bound.
+type BeladyResult struct {
+	Stats Stats
+}
+
+// SimulateBelady runs OPT over the trace (addrs[i], writes[i]) with a
+// fully-associative cache of capacityLines lines of lineBytes each.
+// Writebacks are counted for dirty evictions and a final flush.
+func SimulateBelady(addrs []uint64, writes []bool, capacityLines int, lineBytes int64) BeladyResult {
+	n := len(addrs)
+	lines := make([]uint64, n)
+	shift := uint(0)
+	for l := lineBytes; l > 1; l >>= 1 {
+		shift++
+	}
+	for i, a := range addrs {
+		lines[i] = a >> shift
+	}
+
+	// nextUse[i] = next index after i referencing the same line (n if none).
+	nextUse := make([]int, n)
+	last := make(map[uint64]int, 1024)
+	for i := n - 1; i >= 0; i-- {
+		if j, ok := last[lines[i]]; ok {
+			nextUse[i] = j
+		} else {
+			nextUse[i] = n
+		}
+		last[lines[i]] = i
+	}
+
+	stats := Stats{LineBytes: lineBytes}
+	type resident struct {
+		next  int
+		dirty bool
+	}
+	cache := make(map[uint64]*resident, capacityLines)
+
+	// maxHeap of (next, line) with lazy invalidation: entries whose next
+	// does not match the live resident entry are stale.
+	h := &nextHeap{}
+
+	for i := 0; i < n; i++ {
+		stats.Accesses++
+		line := lines[i]
+		if r, ok := cache[line]; ok {
+			r.next = nextUse[i]
+			r.dirty = r.dirty || writes[i]
+			h.push(entry{next: nextUse[i], line: line})
+			continue
+		}
+		stats.Misses++
+		if len(cache) >= capacityLines {
+			// Evict the resident line with the furthest valid next use.
+			for {
+				e := h.pop()
+				r, ok := cache[e.line]
+				if !ok || r.next != e.next {
+					continue // stale heap entry
+				}
+				if r.dirty {
+					stats.Writebacks++
+				}
+				delete(cache, e.line)
+				break
+			}
+		}
+		cache[line] = &resident{next: nextUse[i], dirty: writes[i]}
+		h.push(entry{next: nextUse[i], line: line})
+	}
+	// Final flush of dirty lines.
+	for _, r := range cache {
+		if r.dirty {
+			stats.Writebacks++
+		}
+	}
+	return BeladyResult{Stats: stats}
+}
+
+type entry struct {
+	next int
+	line uint64
+}
+
+// nextHeap is a max-heap on entry.next.
+type nextHeap struct {
+	es []entry
+}
+
+func (h *nextHeap) push(e entry) {
+	h.es = append(h.es, e)
+	i := len(h.es) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.es[p].next >= h.es[i].next {
+			break
+		}
+		h.es[p], h.es[i] = h.es[i], h.es[p]
+		i = p
+	}
+}
+
+func (h *nextHeap) pop() entry {
+	top := h.es[0]
+	last := len(h.es) - 1
+	h.es[0] = h.es[last]
+	h.es = h.es[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < len(h.es) && h.es[l].next > h.es[big].next {
+			big = l
+		}
+		if r < len(h.es) && h.es[r].next > h.es[big].next {
+			big = r
+		}
+		if big == i {
+			break
+		}
+		h.es[i], h.es[big] = h.es[big], h.es[i]
+		i = big
+	}
+	return top
+}

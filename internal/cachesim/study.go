@@ -1,0 +1,65 @@
+package cachesim
+
+import (
+	"fmt"
+
+	"repro/internal/pareto"
+	"repro/internal/trace"
+)
+
+// MappingCurve is the capacity-vs-traffic curve of ONE concrete mapping
+// under a replacement policy — the paper's Sec. II point: Belady's
+// algorithm is capacity-sensitive but models a single implementation, so
+// its curve sits above the mapping-independent Orojenesis bound and moves
+// when the mapping changes.
+type MappingCurve struct {
+	Policy string // "lru" or "belady"
+	Points []pareto.Point
+}
+
+// LRUCurve simulates the trace of one tiled GEMM across cache capacities
+// under set-associative LRU and returns (capacity, DRAM traffic) points.
+func LRUCurve(g *trace.TiledGEMM, capacities []int64, ways int) (MappingCurve, error) {
+	out := MappingCurve{Policy: "lru"}
+	for _, capacity := range capacities {
+		w := ways
+		for w > 1 && (capacity/64)%int64(w) != 0 {
+			w /= 2
+		}
+		c, err := New(Config{SizeBytes: capacity, LineBytes: 64, Ways: w})
+		if err != nil {
+			return out, fmt.Errorf("cachesim: capacity %d: %w", capacity, err)
+		}
+		if err := g.Emit(c.Access); err != nil {
+			return out, err
+		}
+		c.Flush()
+		out.Points = append(out.Points, pareto.Point{
+			BufferBytes: capacity,
+			AccessBytes: c.Stats().DRAMBytes(),
+		})
+	}
+	return out, nil
+}
+
+// BeladyCurve replays one recorded trace under Belady's optimal
+// replacement across capacities.
+func BeladyCurve(g *trace.TiledGEMM, capacities []int64) (MappingCurve, error) {
+	addrs, writes, err := g.Collect()
+	if err != nil {
+		return MappingCurve{}, err
+	}
+	out := MappingCurve{Policy: "belady"}
+	for _, capacity := range capacities {
+		lines := int(capacity / 64)
+		if lines < 1 {
+			lines = 1
+		}
+		r := SimulateBelady(addrs, writes, lines, 64)
+		out.Points = append(out.Points, pareto.Point{
+			BufferBytes: capacity,
+			AccessBytes: r.Stats.DRAMBytes(),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,100 @@
+package cachesim
+
+import (
+	"testing"
+
+	"repro/internal/bound"
+	"repro/internal/einsum"
+	"repro/internal/trace"
+)
+
+func studyGEMM() *trace.TiledGEMM {
+	return &trace.TiledGEMM{
+		M: 64, K: 64, N: 64,
+		M0: 8, K0: 8, N0: 8,
+		Order:       [3]string{"N", "M", "K"},
+		ElementSize: 2,
+	}
+}
+
+func TestBeladyCurveDominatesLRU(t *testing.T) {
+	g := studyGEMM()
+	caps := []int64{1 << 10, 4 << 10, 16 << 10, 64 << 10}
+	lru, err := LRUCurve(g, caps, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := BeladyCurve(g, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lru.Points) != len(opt.Points) {
+		t.Fatal("point count mismatch")
+	}
+	for i := range caps {
+		if opt.Points[i].AccessBytes > lru.Points[i].AccessBytes {
+			t.Fatalf("Belady worse than LRU at %d: %d > %d",
+				caps[i], opt.Points[i].AccessBytes, lru.Points[i].AccessBytes)
+		}
+	}
+}
+
+func TestCurvesMonotoneInCapacity(t *testing.T) {
+	g := studyGEMM()
+	caps := []int64{1 << 10, 4 << 10, 16 << 10, 64 << 10}
+	opt, err := BeladyCurve(g, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(opt.Points); i++ {
+		if opt.Points[i].AccessBytes > opt.Points[i-1].AccessBytes {
+			t.Fatalf("Belady traffic grew with capacity: %v", opt.Points)
+		}
+	}
+}
+
+// TestBeladySitsAboveOrojenesisBound is the paper's Sec. II argument made
+// executable: even optimal replacement of a *fixed* mapping cannot beat
+// the mapping-independent bound.
+func TestBeladySitsAboveOrojenesisBound(t *testing.T) {
+	g := studyGEMM()
+	e := einsum.GEMM("g", 64, 64, 64)
+	curve := bound.Derive(e, bound.Options{Workers: 1}).Curve
+	caps := []int64{2 << 10, 8 << 10, 32 << 10}
+	opt, err := BeladyCurve(g, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, capacity := range caps {
+		bnd, ok := curve.AccessesAt(capacity)
+		if !ok {
+			t.Fatalf("no bound at %d", capacity)
+		}
+		if opt.Points[i].AccessBytes < bnd {
+			t.Fatalf("Belady beat the bound at %d: %d < %d",
+				capacity, opt.Points[i].AccessBytes, bnd)
+		}
+	}
+}
+
+// TestBeladyIsMappingSpecific shows the second half of the argument: a
+// different mapping yields a different Belady curve, so no single run is
+// a bound.
+func TestBeladyIsMappingSpecific(t *testing.T) {
+	caps := []int64{4 << 10}
+	good := studyGEMM()
+	bad := studyGEMM()
+	bad.M0, bad.K0, bad.N0 = 1, 64, 1 // pathological tiling
+	bad.Order = [3]string{"K", "M", "N"}
+	g1, err := BeladyCurve(good, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := BeladyCurve(bad, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.Points[0].AccessBytes == g2.Points[0].AccessBytes {
+		t.Fatal("different mappings should produce different Belady traffic")
+	}
+}

@@ -1,0 +1,126 @@
+// Package cliutil holds the flag-parsing helpers shared by the command
+// line tools: dimension lists, byte sizes with binary suffixes, named
+// capacity levels and convolution configurations.
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/einsum"
+)
+
+// ParseDims parses exactly n comma-separated positive integers.
+func ParseDims(s string, n int) ([]int64, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != n {
+		return nil, fmt.Errorf("want %d comma-separated dims, got %q", n, s)
+	}
+	out := make([]int64, n)
+	for i, p := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad dimension %q", p)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// ParseBytes parses a byte size with an optional B/KB/MB/GB suffix
+// (binary prefixes).
+func ParseBytes(s string) (int64, error) {
+	mult := int64(1)
+	upper := strings.ToUpper(strings.TrimSpace(s))
+	switch {
+	case strings.HasSuffix(upper, "GB"):
+		mult, upper = 1<<30, strings.TrimSuffix(upper, "GB")
+	case strings.HasSuffix(upper, "MB"):
+		mult, upper = 1<<20, strings.TrimSuffix(upper, "MB")
+	case strings.HasSuffix(upper, "KB"):
+		mult, upper = 1<<10, strings.TrimSuffix(upper, "KB")
+	case strings.HasSuffix(upper, "B"):
+		upper = strings.TrimSuffix(upper, "B")
+	}
+	v, err := strconv.ParseInt(strings.TrimSpace(upper), 10, 64)
+	if err != nil || v < 1 {
+		return 0, fmt.Errorf("bad byte size %q", s)
+	}
+	return v * mult, nil
+}
+
+// ParseLevels parses "L1=192KB,L2=40MB" into named capacities.
+func ParseLevels(s string) (map[string]int64, error) {
+	out := map[string]int64{}
+	for _, kv := range strings.Split(s, ",") {
+		parts := strings.SplitN(kv, "=", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("bad level %q", kv)
+		}
+		b, err := ParseBytes(parts[1])
+		if err != nil {
+			return nil, err
+		}
+		out[strings.TrimSpace(parts[0])] = b
+	}
+	return out, nil
+}
+
+// ParseConv parses "P=16,Q=16,N=64,C=64,R=3,S=3[,T=2,D=2]" into a
+// convolution configuration (stride and dilation default to 1).
+func ParseConv(s string) (einsum.ConvConfig, error) {
+	cfg := einsum.ConvConfig{T: 1, D: 1}
+	for _, kv := range strings.Split(s, ",") {
+		parts := strings.SplitN(kv, "=", 2)
+		if len(parts) != 2 {
+			return cfg, fmt.Errorf("bad conv field %q", kv)
+		}
+		v, err := strconv.ParseInt(strings.TrimSpace(parts[1]), 10, 64)
+		if err != nil || v < 1 {
+			return cfg, fmt.Errorf("bad conv value %q", kv)
+		}
+		switch strings.ToUpper(strings.TrimSpace(parts[0])) {
+		case "P":
+			cfg.P = v
+		case "Q":
+			cfg.Q = v
+		case "N":
+			cfg.N = v
+		case "C":
+			cfg.C = v
+		case "R":
+			cfg.R = v
+		case "S":
+			cfg.S = v
+		case "T":
+			cfg.T = v
+		case "D":
+			cfg.D = v
+		default:
+			return cfg, fmt.Errorf("unknown conv field %q", parts[0])
+		}
+	}
+	if cfg.P == 0 || cfg.Q == 0 || cfg.N == 0 || cfg.C == 0 || cfg.R == 0 || cfg.S == 0 {
+		return cfg, fmt.Errorf("conv needs P,Q,N,C,R,S")
+	}
+	return cfg, nil
+}
+
+// ParseChainOps parses "4096x16384,16384x4096" into (K,N) pairs.
+func ParseChainOps(s string) ([][2]int64, error) {
+	var out [][2]int64
+	for _, part := range strings.Split(s, ",") {
+		kn := strings.SplitN(strings.TrimSpace(part), "x", 2)
+		if len(kn) != 2 {
+			return nil, fmt.Errorf("bad op %q: want KxN", part)
+		}
+		k, err1 := strconv.ParseInt(kn[0], 10, 64)
+		n, err2 := strconv.ParseInt(kn[1], 10, 64)
+		if err1 != nil || err2 != nil || k < 1 || n < 1 {
+			return nil, fmt.Errorf("bad op %q", part)
+		}
+		out = append(out, [2]int64{k, n})
+	}
+	return out, nil
+}

@@ -1,0 +1,91 @@
+package cliutil
+
+import "testing"
+
+func TestParseDims(t *testing.T) {
+	d, err := ParseDims("4096, 128,4096", 3)
+	if err != nil || d[0] != 4096 || d[1] != 128 || d[2] != 4096 {
+		t.Fatalf("ParseDims = %v, %v", d, err)
+	}
+	bad := []string{"1,2", "1,2,3,4", "a,b,c", "0,1,2", "-1,2,3"}
+	for _, s := range bad {
+		if _, err := ParseDims(s, 3); err == nil {
+			t.Fatalf("accepted %q", s)
+		}
+	}
+}
+
+func TestParseBytes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+	}{
+		{"512", 512},
+		{"512B", 512},
+		{"4KB", 4 << 10},
+		{"40MB", 40 << 20},
+		{"2GB", 2 << 30},
+		{" 16 kb ", 16 << 10},
+	}
+	for _, c := range cases {
+		got, err := ParseBytes(c.in)
+		if err != nil || got != c.want {
+			t.Fatalf("ParseBytes(%q) = (%d,%v), want %d", c.in, got, err, c.want)
+		}
+	}
+	for _, s := range []string{"", "MB", "-4KB", "x"} {
+		if _, err := ParseBytes(s); err == nil {
+			t.Fatalf("accepted %q", s)
+		}
+	}
+}
+
+func TestParseLevels(t *testing.T) {
+	l, err := ParseLevels("L1=192KB,L2=40MB")
+	if err != nil || l["L1"] != 192<<10 || l["L2"] != 40<<20 {
+		t.Fatalf("ParseLevels = %v, %v", l, err)
+	}
+	for _, s := range []string{"L1", "L1=", "L1=x"} {
+		if _, err := ParseLevels(s); err == nil {
+			t.Fatalf("accepted %q", s)
+		}
+	}
+}
+
+func TestParseConv(t *testing.T) {
+	cfg, err := ParseConv("P=16,Q=16,N=64,C=64,R=3,S=3,T=2,D=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.T != 2 || cfg.D != 2 || cfg.R != 3 {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	// Defaults for stride/dilation.
+	cfg, err = ParseConv("P=4,Q=4,N=2,C=2,R=1,S=1")
+	if err != nil || cfg.T != 1 || cfg.D != 1 {
+		t.Fatalf("defaults broken: %+v, %v", cfg, err)
+	}
+	bad := []string{
+		"P=16",                        // missing fields
+		"P=16,Q=16,N=64,C=64,R=3",     // missing S
+		"Z=1,P=4,Q=4,N=2,C=2,R=1,S=1", // unknown
+		"P=x,Q=4,N=2,C=2,R=1,S=1",
+	}
+	for _, s := range bad {
+		if _, err := ParseConv(s); err == nil {
+			t.Fatalf("accepted %q", s)
+		}
+	}
+}
+
+func TestParseChainOps(t *testing.T) {
+	ops, err := ParseChainOps("4096x16384, 16384x4096")
+	if err != nil || len(ops) != 2 || ops[0] != [2]int64{4096, 16384} {
+		t.Fatalf("ParseChainOps = %v, %v", ops, err)
+	}
+	for _, s := range []string{"4096", "ax4", "4x0"} {
+		if _, err := ParseChainOps(s); err == nil {
+			t.Fatalf("accepted %q", s)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+// Package core orchestrates the complete Orojenesis flow (Fig. 5): it
+// ties the workload model, the exhaustive Snowcat mapspace search, the
+// Pareto frontier, the fusion engine and the derivative models into the
+// two top-level analyses the paper is built around — single-Einsum bounds
+// and multi-Einsum (fused) bounds.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bound"
+	"repro/internal/einsum"
+	"repro/internal/fusion"
+	"repro/internal/oi"
+	"repro/internal/pareto"
+)
+
+// EinsumAnalysis is the full single-Einsum report: the ski-slope curve,
+// the OI mesa, and the paper's headline scalar queries.
+type EinsumAnalysis struct {
+	Einsum *einsum.Einsum
+	Curve  *pareto.Curve
+	Mesa   []oi.MesaPoint
+	Stats  bound.Stats
+
+	AlgorithmicMinBytes int64
+	TotalOperandBytes   int64
+	MACs                int64
+	PeakOI              float64 // MACs per element at the mesa top
+	AlgorithmicOI       float64
+	MaxEffectualBytes   int64
+	Gap1                float64 // max effectual buffer / total operand size
+}
+
+// AnalyzeEinsum runs the Orojenesis flow for one Einsum.
+func AnalyzeEinsum(e *einsum.Einsum, opts bound.Options) (*EinsumAnalysis, error) {
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	res := bound.Derive(e, opts)
+	a := &EinsumAnalysis{
+		Einsum:              e,
+		Curve:               res.Curve,
+		Mesa:                oi.Mesa(res.Curve, e.MACs(), e.ElementSize),
+		Stats:               res.Stats,
+		AlgorithmicMinBytes: e.AlgorithmicMinBytes(),
+		TotalOperandBytes:   e.TotalOperandBytes(),
+		MACs:                e.MACs(),
+		PeakOI:              oi.PeakOI(res.Curve, e.MACs(), e.ElementSize),
+		AlgorithmicOI:       e.AlgorithmicOI(),
+		MaxEffectualBytes:   res.Curve.MaxEffectualBufferBytes(),
+	}
+	if g, ok := res.Curve.Gap1(); ok {
+		a.Gap1 = g
+	}
+	return a, nil
+}
+
+// Gap0 returns attainable-accesses / algorithmic-minimum at a capacity.
+func (a *EinsumAnalysis) Gap0(bufBytes int64) (float64, bool) {
+	return a.Curve.Gap0(bufBytes)
+}
+
+// OIAt returns the attainable operational intensity at a capacity.
+func (a *EinsumAnalysis) OIAt(bufBytes int64) (float64, bool) {
+	return oi.OIAt(a.Curve, a.MACs, a.Einsum.ElementSize, bufBytes)
+}
+
+// ChainAnalysis is the multi-Einsum report of Sec. V/VI: the unfused
+// baseline and the fusion bounds.
+type ChainAnalysis struct {
+	Chain          *fusion.Chain
+	PerOp          []*pareto.Curve
+	Unfused        *pareto.Curve
+	Tiled          *pareto.Curve
+	Untiled        *pareto.Curve
+	Best           *pareto.Curve // best segmentation at every capacity
+	AlgoMin        int64         // fused algorithmic minimum, bytes
+	UnfusedAlgoMin int64         // unfused algorithmic minimum, bytes
+}
+
+// AnalyzeChain runs the multi-Einsum Orojenesis flow for a fusible chain
+// of at least two ops.
+func AnalyzeChain(c *fusion.Chain, opts bound.Options) (*ChainAnalysis, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if c.Len() < 2 {
+		return nil, fmt.Errorf("core: AnalyzeChain needs >= 2 ops, got %d", c.Len())
+	}
+	perOp := c.PerOpCurves(opts)
+	tiled, err := fusion.TiledFusion(c)
+	if err != nil {
+		return nil, err
+	}
+	untiled, err := fusion.UntiledFusion(c)
+	if err != nil {
+		return nil, err
+	}
+	best, err := fusion.BestSegmentation(c, perOp)
+	if err != nil {
+		return nil, err
+	}
+	return &ChainAnalysis{
+		Chain:          c,
+		PerOp:          perOp,
+		Unfused:        fusion.UnfusedCurve(perOp),
+		Tiled:          tiled,
+		Untiled:        untiled,
+		Best:           best,
+		AlgoMin:        c.FusedAlgoMinBytes(),
+		UnfusedAlgoMin: c.UnfusedAlgoMinBytes(),
+	}, nil
+}
+
+// FusionProfit reports the unfused/fused access ratio at a capacity
+// (values below 1 mean fusion is counter-productive there, the regime the
+// paper highlights for small buffers).
+func (a *ChainAnalysis) FusionProfit(bufBytes int64) (float64, bool) {
+	u, ok1 := a.Unfused.AccessesAt(bufBytes)
+	f, ok2 := a.Tiled.AccessesAt(bufBytes)
+	if !ok1 || !ok2 || f == 0 {
+		return 0, false
+	}
+	return float64(u) / float64(f), true
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/bound"
+	"repro/internal/einsum"
+	"repro/internal/fusion"
+)
+
+func TestAnalyzeEinsum(t *testing.T) {
+	g := einsum.GEMM("g", 64, 64, 64)
+	a, err := AnalyzeEinsum(g, bound.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Curve.Empty() {
+		t.Fatal("empty curve")
+	}
+	if a.AlgorithmicMinBytes != g.AlgorithmicMinBytes() {
+		t.Fatal("algo min mismatch")
+	}
+	if a.PeakOI <= 0 || a.PeakOI > a.AlgorithmicOI+1e-9 {
+		t.Fatalf("peak OI %f outside (0, algorithmic OI %f]", a.PeakOI, a.AlgorithmicOI)
+	}
+	if a.MaxEffectualBytes != a.Curve.MaxEffectualBufferBytes() {
+		t.Fatal("max effectual mismatch")
+	}
+	if a.Gap1 <= 0 || a.Gap1 > 1 {
+		t.Fatalf("Gap1 = %f, want in (0,1]", a.Gap1)
+	}
+	if len(a.Mesa) != a.Curve.Len() {
+		t.Fatal("mesa points != curve points")
+	}
+	// Gap0 at min buffer should exceed Gap0 at max effectual (=1).
+	g0small, ok1 := a.Gap0(a.Curve.MinBufferBytes())
+	g0big, ok2 := a.Gap0(a.MaxEffectualBytes)
+	if !ok1 || !ok2 || g0small < g0big || g0big != 1 {
+		t.Fatalf("Gap0: small %f (%v), big %f (%v)", g0small, ok1, g0big, ok2)
+	}
+	if oi, ok := a.OIAt(a.MaxEffectualBytes); !ok || oi != a.PeakOI {
+		t.Fatalf("OIAt(maxEffectual) = (%f,%v), want peak %f", oi, ok, a.PeakOI)
+	}
+}
+
+func TestAnalyzeEinsumRejectsInvalid(t *testing.T) {
+	bad := &einsum.Einsum{Name: "bad", ElementSize: 2}
+	if _, err := AnalyzeEinsum(bad, bound.Options{}); err == nil {
+		t.Fatal("invalid einsum accepted")
+	}
+}
+
+func TestAnalyzeChain(t *testing.T) {
+	c := fusion.MustChain("c", 16,
+		fusion.GEMMOp("g0", 16, 8, 16),
+		fusion.GEMMOp("g1", 16, 16, 8),
+	)
+	a, err := AnalyzeChain(c, bound.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Tiled.Empty() || a.Unfused.Empty() || a.Untiled.Empty() || a.Best.Empty() {
+		t.Fatal("missing curves")
+	}
+	if a.AlgoMin != c.FusedAlgoMinBytes() || a.UnfusedAlgoMin != c.UnfusedAlgoMinBytes() {
+		t.Fatal("algo-min annotations wrong")
+	}
+	// Fusion profit at the untiled capacity should be >= 1 (fusion cannot
+	// lose once the whole intermediate fits).
+	if p, ok := a.FusionProfit(a.Untiled.MinBufferBytes()); !ok || p < 1 {
+		t.Fatalf("FusionProfit at large capacity = (%f,%v)", p, ok)
+	}
+}
+
+func TestAnalyzeChainRejectsSingleOp(t *testing.T) {
+	c := fusion.MustChain("c", 16, fusion.GEMMOp("g0", 16, 8, 16))
+	if _, err := AnalyzeChain(c, bound.Options{}); err == nil {
+		t.Fatal("single-op chain accepted")
+	}
+}

@@ -1,0 +1,127 @@
+package einsum
+
+import "fmt"
+
+func id(rank string) Dim { return Dim{Terms: []Term{{Rank: rank, Coeff: 1}}} }
+
+// GEMM builds the matrix-multiplication Einsum B[m,n] = A[m,k] * W[k,n].
+func GEMM(name string, m, k, n int64) *Einsum {
+	e := &Einsum{
+		Name: name,
+		Ranks: []Rank{
+			{Name: "M", Shape: m},
+			{Name: "K", Shape: k},
+			{Name: "N", Shape: n},
+		},
+		Tensors: []Tensor{
+			{Name: "A", Dims: []Dim{id("M"), id("K")}},
+			{Name: "W", Dims: []Dim{id("K"), id("N")}},
+			{Name: "B", Dims: []Dim{id("M"), id("N")}, Output: true},
+		},
+		ElementSize: DefaultElementSize,
+	}
+	mustValidate(e)
+	return e
+}
+
+// BMM builds the batched matrix multiplication
+// B[h,m,n] = A[h,m,k] * W[h,k,n] used by multi-head attention.
+func BMM(name string, h, m, k, n int64) *Einsum {
+	e := &Einsum{
+		Name: name,
+		Ranks: []Rank{
+			{Name: "H", Shape: h},
+			{Name: "M", Shape: m},
+			{Name: "K", Shape: k},
+			{Name: "N", Shape: n},
+		},
+		Tensors: []Tensor{
+			{Name: "A", Dims: []Dim{id("H"), id("M"), id("K")}},
+			{Name: "W", Dims: []Dim{id("H"), id("K"), id("N")}},
+			{Name: "B", Dims: []Dim{id("H"), id("M"), id("N")}, Output: true},
+		},
+		ElementSize: DefaultElementSize,
+	}
+	mustValidate(e)
+	return e
+}
+
+// GroupedBMM builds the grouped BMM of MQA/GQA:
+// B[h,m,n] = A[h,m,k] * W[h/(H/G),k,n]. G=1 is multi-query attention,
+// G=H recovers ordinary BMM.
+func GroupedBMM(name string, h, g, m, k, n int64) *Einsum {
+	if g < 1 || g > h || h%g != 0 {
+		panic(fmt.Sprintf("einsum: GroupedBMM: G=%d must divide H=%d", g, h))
+	}
+	e := &Einsum{
+		Name: name,
+		Ranks: []Rank{
+			{Name: "H", Shape: h},
+			{Name: "M", Shape: m},
+			{Name: "K", Shape: k},
+			{Name: "N", Shape: n},
+		},
+		Tensors: []Tensor{
+			{Name: "A", Dims: []Dim{id("H"), id("M"), id("K")}},
+			{Name: "W", Dims: []Dim{
+				{Terms: []Term{{Rank: "H", Coeff: 1}}, GroupDiv: h / g},
+				id("K"), id("N"),
+			}},
+			{Name: "B", Dims: []Dim{id("H"), id("M"), id("N")}, Output: true},
+		},
+		ElementSize: DefaultElementSize,
+	}
+	mustValidate(e)
+	return e
+}
+
+// ConvConfig parameterizes a multi-channel 2D convolution
+// B[p,q,n] = A[t*p+d*r, t*q+d*s, c] * W[c,n,r,s].
+type ConvConfig struct {
+	P, Q int64 // output spatial extents
+	N    int64 // output channels
+	C    int64 // input channels
+	R, S int64 // filter spatial extents
+	T    int64 // stride (applied to both spatial dims)
+	D    int64 // dilation (applied to both spatial dims)
+}
+
+// Conv2D builds the convolution Einsum for cfg. Stride and dilation default
+// to 1 when left zero.
+func Conv2D(name string, cfg ConvConfig) *Einsum {
+	if cfg.T == 0 {
+		cfg.T = 1
+	}
+	if cfg.D == 0 {
+		cfg.D = 1
+	}
+	e := &Einsum{
+		Name: name,
+		Ranks: []Rank{
+			{Name: "P", Shape: cfg.P},
+			{Name: "Q", Shape: cfg.Q},
+			{Name: "N", Shape: cfg.N},
+			{Name: "C", Shape: cfg.C},
+			{Name: "R", Shape: cfg.R},
+			{Name: "S", Shape: cfg.S},
+		},
+		Tensors: []Tensor{
+			{Name: "A", Dims: []Dim{
+				{Terms: []Term{{Rank: "P", Coeff: cfg.T}, {Rank: "R", Coeff: cfg.D}}},
+				{Terms: []Term{{Rank: "Q", Coeff: cfg.T}, {Rank: "S", Coeff: cfg.D}}},
+				id("C"),
+			}},
+			{Name: "W", Dims: []Dim{id("C"), id("N"), id("R"), id("S")}},
+			{Name: "B", Dims: []Dim{id("P"), id("Q"), id("N")}, Output: true},
+		},
+		ElementSize: DefaultElementSize,
+	}
+	mustValidate(e)
+	return e
+}
+
+func mustValidate(e *Einsum) {
+	if err := e.Validate(); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,210 @@
+package einsum
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGEMMBasics(t *testing.T) {
+	g := GEMM("gemm", 64, 32, 16)
+	if g.MACs() != 64*32*16 {
+		t.Fatalf("MACs = %d, want %d", g.MACs(), 64*32*16)
+	}
+	want := int64(64*32 + 32*16 + 64*16)
+	if g.AlgorithmicMinElements() != want {
+		t.Fatalf("AlgorithmicMinElements = %d, want %d", g.AlgorithmicMinElements(), want)
+	}
+	if g.AlgorithmicMinBytes() != want*2 {
+		t.Fatalf("AlgorithmicMinBytes = %d, want %d", g.AlgorithmicMinBytes(), want*2)
+	}
+	if g.SmallestOperandElements() != 32*16 {
+		t.Fatalf("smallest operand = %d, want %d", g.SmallestOperandElements(), 32*16)
+	}
+	if got := g.RankShape("K"); got != 32 {
+		t.Fatalf("RankShape(K) = %d", got)
+	}
+}
+
+func TestGEMMFootprints(t *testing.T) {
+	g := GEMM("gemm", 64, 32, 16)
+	tile := map[string]int64{"M": 4, "K": 8, "N": 2}
+	a, w, b := &g.Tensors[0], &g.Tensors[1], &g.Tensors[2]
+	if fp := g.Footprint(a, tile); fp != 4*8 {
+		t.Fatalf("A footprint = %d, want 32", fp)
+	}
+	if fp := g.Footprint(w, tile); fp != 8*2 {
+		t.Fatalf("W footprint = %d, want 16", fp)
+	}
+	if fp := g.Footprint(b, tile); fp != 4*2 {
+		t.Fatalf("B footprint = %d, want 8", fp)
+	}
+	// Ranks missing from the tile map default to 1.
+	if fp := g.Footprint(a, map[string]int64{"M": 4}); fp != 4 {
+		t.Fatalf("A footprint with default K = %d, want 4", fp)
+	}
+}
+
+func TestConvFootprintStrideDilation(t *testing.T) {
+	// stride 2, dilation 2, 3x3 filter.
+	c := Conv2D("conv", ConvConfig{P: 16, Q: 16, N: 8, C: 4, R: 3, S: 3, T: 2, D: 2})
+	in := &c.Tensors[0]
+	tile := map[string]int64{"P": 4, "Q": 1, "R": 3, "S": 1, "C": 2}
+	// width dim: 2*(4-1) + 2*(3-1) + 1 = 11; height: 2*(1-1)+2*(1-1)+1 = 1; C: 2.
+	if fp := c.Footprint(in, tile); fp != 11*1*2 {
+		t.Fatalf("conv input footprint = %d, want 22", fp)
+	}
+	// Full input size: width = 2*15 + 2*2 + 1 = 35, same height, 4 channels.
+	if sz := c.TensorSize(in); sz != 35*35*4 {
+		t.Fatalf("conv input size = %d, want %d", sz, 35*35*4)
+	}
+}
+
+func TestConvFootprintClamped(t *testing.T) {
+	// Unit stride: footprint of a full-P tile plus filter reach must clamp
+	// to the true input extent.
+	c := Conv2D("conv", ConvConfig{P: 16, Q: 16, N: 8, C: 4, R: 3, S: 3, T: 1, D: 1})
+	in := &c.Tensors[0]
+	full := map[string]int64{"P": 16, "Q": 16, "R": 3, "S": 3, "C": 4}
+	if fp := c.Footprint(in, full); fp != c.TensorSize(in) {
+		t.Fatalf("full-tile footprint %d != tensor size %d", fp, c.TensorSize(in))
+	}
+}
+
+func TestGroupedBMM(t *testing.T) {
+	g := GroupedBMM("gbmm", 32, 4, 128, 64, 256)
+	w := &g.Tensors[1]
+	if gd := w.GroupDivFor("H"); gd != 8 {
+		t.Fatalf("GroupDivFor(H) = %d, want 8", gd)
+	}
+	// W has G=4 head groups: size = 4*64*256.
+	if sz := g.TensorSize(w); sz != 4*64*256 {
+		t.Fatalf("W size = %d, want %d", sz, 4*64*256)
+	}
+	// A tile covering 8 heads touches ceil(8/8) = 1 group of W.
+	tile := map[string]int64{"H": 8, "K": 64, "N": 256}
+	if fp := g.Footprint(w, tile); fp != 1*64*256 {
+		t.Fatalf("W footprint for 8-head tile = %d, want %d", fp, 64*256)
+	}
+	// 9 heads span 2 groups.
+	tile["H"] = 16
+	if fp := g.Footprint(w, tile); fp != 2*64*256 {
+		t.Fatalf("W footprint for 16-head tile = %d, want %d", fp, 2*64*256)
+	}
+}
+
+func TestGroupedBMMValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GroupedBMM with non-dividing G did not panic")
+		}
+	}()
+	GroupedBMM("bad", 32, 5, 1, 1, 1)
+}
+
+func TestBMMEqualsGroupedBMMWithGEqualsH(t *testing.T) {
+	b := BMM("bmm", 16, 64, 32, 64)
+	g := GroupedBMM("gbmm", 16, 16, 64, 32, 64)
+	if b.AlgorithmicMinElements() != g.AlgorithmicMinElements() {
+		t.Fatalf("BMM algo-min %d != grouped(G=H) %d",
+			b.AlgorithmicMinElements(), g.AlgorithmicMinElements())
+	}
+	if b.MACs() != g.MACs() {
+		t.Fatal("MACs mismatch between BMM and grouped BMM with G=H")
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	bad := []*Einsum{
+		{Name: "", ElementSize: 2, Ranks: []Rank{{"M", 4}}},
+		{Name: "x", ElementSize: 0, Ranks: []Rank{{"M", 4}}},
+		{Name: "x", ElementSize: 2},
+		{Name: "x", ElementSize: 2, Ranks: []Rank{{"M", 4}, {"M", 4}}},
+		{Name: "x", ElementSize: 2, Ranks: []Rank{{"M", 0}}},
+		{ // no output
+			Name: "x", ElementSize: 2, Ranks: []Rank{{"M", 4}},
+			Tensors: []Tensor{{Name: "A", Dims: []Dim{id("M")}}},
+		},
+		{ // unknown rank reference
+			Name: "x", ElementSize: 2, Ranks: []Rank{{"M", 4}},
+			Tensors: []Tensor{
+				{Name: "A", Dims: []Dim{id("Z")}},
+				{Name: "B", Dims: []Dim{id("M")}, Output: true},
+			},
+		},
+	}
+	for i, e := range bad {
+		if err := e.Validate(); err == nil {
+			t.Fatalf("case %d: Validate accepted invalid einsum", i)
+		}
+	}
+	if err := GEMM("ok", 4, 4, 4).Validate(); err != nil {
+		t.Fatalf("valid GEMM rejected: %v", err)
+	}
+}
+
+func TestRelevance(t *testing.T) {
+	g := GEMM("gemm", 8, 8, 8)
+	a, w, b := &g.Tensors[0], &g.Tensors[1], &g.Tensors[2]
+	checks := []struct {
+		t    *Tensor
+		rank string
+		want bool
+	}{
+		{a, "M", true}, {a, "K", true}, {a, "N", false},
+		{w, "M", false}, {w, "K", true}, {w, "N", true},
+		{b, "M", true}, {b, "K", false}, {b, "N", true},
+	}
+	for _, c := range checks {
+		if got := c.t.Relevant(c.rank); got != c.want {
+			t.Fatalf("%s.Relevant(%s) = %v, want %v", c.t.Name, c.rank, got, c.want)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	g := GEMM("gemm", 8, 8, 8)
+	s := g.String()
+	if !strings.Contains(s, "B[m,n] = A[m,k] * W[k,n]") {
+		t.Fatalf("unexpected String(): %q", s)
+	}
+	c := Conv2D("conv", ConvConfig{P: 4, Q: 4, N: 2, C: 2, R: 3, S: 3, T: 2, D: 1})
+	if !strings.Contains(c.String(), "2p+r") {
+		t.Fatalf("conv String() missing strided projection: %q", c.String())
+	}
+}
+
+func TestFootprintMonotoneProperty(t *testing.T) {
+	g := GEMM("gemm", 64, 64, 64)
+	f := func(m1, k1, n1, m2, k2, n2 uint8) bool {
+		t1 := map[string]int64{
+			"M": int64(m1%64) + 1, "K": int64(k1%64) + 1, "N": int64(n1%64) + 1,
+		}
+		t2 := map[string]int64{
+			"M": t1["M"] + int64(m2%4), "K": t1["K"] + int64(k2%4), "N": t1["N"] + int64(n2%4),
+		}
+		for r, v := range t2 {
+			if v > 64 {
+				t2[r] = 64
+			}
+		}
+		// Footprints are monotone in tile sizes.
+		for i := range g.Tensors {
+			if g.Footprint(&g.Tensors[i], t2) < g.Footprint(&g.Tensors[i], t1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlgorithmicOI(t *testing.T) {
+	g := GEMM("gemm", 128, 128, 128)
+	want := float64(128*128*128) / float64(3*128*128)
+	if got := g.AlgorithmicOI(); got != want {
+		t.Fatalf("AlgorithmicOI = %f, want %f", got, want)
+	}
+}

@@ -1,0 +1,272 @@
+package einsum
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse builds an Einsum from the textual notation used throughout the
+// paper (and by this repo's CLIs):
+//
+//	B[m,n] = A[m,k] * W[k,n] {M=4096, K=4096, N=4096}
+//
+// Dimensions support strided/dilated affine sums and grouped division:
+//
+//	B[p,q,n] = A[2p+2r, 2q+2s, c] * W[c,n,r,s] {P=16,Q=16,N=64,C=64,R=3,S=3}
+//	B[h,m,n] = A[h,m,k] * W[h/4,k,n] {H=32,M=4096,K=128,N=4096}
+//
+// Rank names are case-insensitive (canonicalized to upper case); every
+// referenced rank must be given a shape in the trailing {...} block. The
+// left-hand tensor is the output. Element size defaults to
+// DefaultElementSize.
+func Parse(s string) (*Einsum, error) {
+	p := &parser{src: s}
+	e, err := p.parse()
+	if err != nil {
+		return nil, fmt.Errorf("einsum: parse %q: %w", s, err)
+	}
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// MustParse is Parse that panics on error, for static workload tables.
+func MustParse(s string) *Einsum {
+	e, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) parse() (*Einsum, error) {
+	out, err := p.tensor()
+	if err != nil {
+		return nil, err
+	}
+	out.Output = true
+	if !p.eat("=") {
+		return nil, p.errf("expected '='")
+	}
+	tensors := []Tensor{}
+	for {
+		in, err := p.tensor()
+		if err != nil {
+			return nil, err
+		}
+		tensors = append(tensors, *in)
+		if p.eat("*") || p.eat("x") {
+			continue
+		}
+		break
+	}
+	shapes, err := p.shapes()
+	if err != nil {
+		return nil, err
+	}
+	p.ws()
+	if p.pos != len(p.src) {
+		return nil, p.errf("trailing input")
+	}
+
+	// Collect referenced ranks in first-use order.
+	var rankOrder []string
+	seen := map[string]bool{}
+	collect := func(t *Tensor) {
+		for _, d := range t.Dims {
+			for _, term := range d.Terms {
+				if !seen[term.Rank] {
+					seen[term.Rank] = true
+					rankOrder = append(rankOrder, term.Rank)
+				}
+			}
+		}
+	}
+	collect(out)
+	for i := range tensors {
+		collect(&tensors[i])
+	}
+
+	e := &Einsum{
+		Name:        strings.ToLower(out.Name),
+		ElementSize: DefaultElementSize,
+	}
+	for _, r := range rankOrder {
+		shape, ok := shapes[r]
+		if !ok {
+			return nil, fmt.Errorf("rank %s has no shape (add it to the {...} block)", r)
+		}
+		e.Ranks = append(e.Ranks, Rank{Name: r, Shape: shape})
+	}
+	for r := range shapes {
+		if !seen[r] {
+			return nil, fmt.Errorf("shape given for unused rank %s", r)
+		}
+	}
+	e.Tensors = append(e.Tensors, tensors...)
+	e.Tensors = append(e.Tensors, *out)
+	return e, nil
+}
+
+// tensor parses NAME '[' dim (',' dim)* ']'.
+func (p *parser) tensor() (*Tensor, error) {
+	p.ws()
+	name := p.ident()
+	if name == "" {
+		return nil, p.errf("expected tensor name")
+	}
+	if !p.eat("[") {
+		return nil, p.errf("expected '[' after tensor %s", name)
+	}
+	t := &Tensor{Name: name}
+	for {
+		d, err := p.dim()
+		if err != nil {
+			return nil, err
+		}
+		t.Dims = append(t.Dims, *d)
+		if p.eat(",") {
+			continue
+		}
+		if p.eat("]") {
+			break
+		}
+		return nil, p.errf("expected ',' or ']' in tensor %s", name)
+	}
+	return t, nil
+}
+
+// dim parses either a grouped index "h/4" or an affine sum "2p+2r".
+func (p *parser) dim() (*Dim, error) {
+	first, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	if p.eat("/") {
+		if first.Coeff != 1 {
+			return nil, p.errf("grouped dims cannot carry a coefficient")
+		}
+		div := p.number()
+		if div < 2 {
+			return nil, p.errf("group divisor must be >= 2")
+		}
+		return &Dim{Terms: []Term{*first}, GroupDiv: div}, nil
+	}
+	d := &Dim{Terms: []Term{*first}}
+	for p.eat("+") {
+		t, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		d.Terms = append(d.Terms, *t)
+	}
+	return d, nil
+}
+
+// term parses an optional coefficient followed by a rank name.
+func (p *parser) term() (*Term, error) {
+	p.ws()
+	coeff := int64(1)
+	if n := p.number(); n > 0 {
+		coeff = n
+	}
+	name := p.ident()
+	if name == "" {
+		return nil, p.errf("expected rank name")
+	}
+	return &Term{Rank: strings.ToUpper(name), Coeff: coeff}, nil
+}
+
+// shapes parses '{' NAME '=' INT (',' ...)* '}'.
+func (p *parser) shapes() (map[string]int64, error) {
+	p.ws()
+	if !p.eat("{") {
+		return nil, p.errf("expected '{' rank-shape block")
+	}
+	out := map[string]int64{}
+	for {
+		p.ws()
+		name := p.ident()
+		if name == "" {
+			return nil, p.errf("expected rank name in shape block")
+		}
+		if !p.eat("=") {
+			return nil, p.errf("expected '=' after rank %s", name)
+		}
+		v := p.number()
+		if v < 1 {
+			return nil, p.errf("bad shape for rank %s", name)
+		}
+		key := strings.ToUpper(name)
+		if _, dup := out[key]; dup {
+			return nil, p.errf("duplicate shape for rank %s", key)
+		}
+		out[key] = v
+		p.eat(",") // separators are a comma or just whitespace
+		if p.eat("}") {
+			return out, nil
+		}
+	}
+}
+
+// lexer helpers --------------------------------------------------------
+
+func (p *parser) ws() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t' || p.src[p.pos] == '\n') {
+		p.pos++
+	}
+}
+
+func (p *parser) eat(tok string) bool {
+	p.ws()
+	if strings.HasPrefix(p.src[p.pos:], tok) {
+		// "x" doubles as a multiply sign only when it stands alone.
+		if tok == "x" && p.pos+1 < len(p.src) && isIdent(rune(p.src[p.pos+1])) {
+			return false
+		}
+		p.pos += len(tok)
+		return true
+	}
+	return false
+}
+
+func (p *parser) ident() string {
+	p.ws()
+	start := p.pos
+	for p.pos < len(p.src) && isIdent(rune(p.src[p.pos])) {
+		p.pos++
+	}
+	return p.src[start:p.pos]
+}
+
+func (p *parser) number() int64 {
+	p.ws()
+	start := p.pos
+	for p.pos < len(p.src) && unicode.IsDigit(rune(p.src[p.pos])) {
+		p.pos++
+	}
+	if start == p.pos {
+		return 0
+	}
+	v, err := strconv.ParseInt(p.src[start:p.pos], 10, 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+func isIdent(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("at byte %d: %s", p.pos, fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,99 @@
+package fusion
+
+import (
+	"testing"
+)
+
+func TestPipelinedNeverCheaperBufferThanSequential(t *testing.T) {
+	c := MustChain("c", 16,
+		GEMMOp("g0", 16, 8, 16),
+		GEMMOp("g1", 16, 16, 8),
+	)
+	seq, err := TiledFusion(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := PipelinedFusion(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same access floor (all weights resident reaches the fused algo min
+	// in both styles).
+	if pipe.MinAccessBytes() != c.FusedAlgoMinBytes() {
+		t.Fatalf("pipelined floor %d != fused algo min %d",
+			pipe.MinAccessBytes(), c.FusedAlgoMinBytes())
+	}
+	// Pipelined needs at least as much buffer for equal accesses: at
+	// every pipelined point, sequential achieves <= accesses.
+	for _, p := range pipe.Points() {
+		acc, ok := seq.AccessesAt(p.BufferBytes)
+		if !ok || acc > p.AccessBytes {
+			t.Fatalf("sequential (%d,%v) worse than pipelined point %+v", acc, ok, p)
+		}
+	}
+	// And the pipelined minimum buffer exceeds the sequential minimum.
+	if pipe.MinBufferBytes() <= seq.MinBufferBytes() {
+		t.Fatalf("pipelined min buffer %d should exceed sequential %d",
+			pipe.MinBufferBytes(), seq.MinBufferBytes())
+	}
+}
+
+func TestPipelinedRejectsShortChains(t *testing.T) {
+	if _, err := PipelinedFusion(MustChain("one", 4, GEMMOp("g", 4, 2, 2))); err == nil {
+		t.Fatal("single-op pipelined fusion accepted")
+	}
+}
+
+func TestPartialSpillDominatesBase(t *testing.T) {
+	c := MustChain("pair", 64,
+		GEMMOp("g0", 64, 16, 64),
+		GEMMOp("g1", 64, 64, 16),
+	)
+	base, err := TiledFusion(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spill, err := TiledFusionWithPartialSpill(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The spilling space is a superset: pointwise at least as good.
+	for _, p := range base.Points() {
+		acc, ok := spill.AccessesAt(p.BufferBytes)
+		if !ok || acc > p.AccessBytes {
+			t.Fatalf("spill curve worse at %d: (%d,%v) vs %d",
+				p.BufferBytes, acc, ok, p.AccessBytes)
+		}
+	}
+	// It may enable smaller buffers than the base space.
+	if spill.MinBufferBytes() > base.MinBufferBytes() {
+		t.Fatalf("spill min buffer %d above base %d",
+			spill.MinBufferBytes(), base.MinBufferBytes())
+	}
+	// Spilled partials always cost at least the fused algorithmic
+	// minimum.
+	for _, p := range spill.Points() {
+		if p.AccessBytes < c.FusedAlgoMinBytes() {
+			t.Fatalf("spill point %+v below fused algo min", p)
+		}
+	}
+}
+
+func TestPartialSpillLongChainFallsBack(t *testing.T) {
+	c := MustChain("three", 16,
+		GEMMOp("g0", 16, 4, 16),
+		GEMMOp("g1", 16, 16, 8),
+		GEMMOp("g2", 16, 8, 4),
+	)
+	base, err := TiledFusion(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spill, err := TiledFusionWithPartialSpill(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spill.Len() != base.Len() {
+		t.Fatal("3-op chain should fall back to the standard bound")
+	}
+}

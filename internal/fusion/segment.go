@@ -1,0 +1,127 @@
+package fusion
+
+import (
+	"fmt"
+
+	"repro/internal/pareto"
+)
+
+// Segmentation describes one way to cut a chain into consecutively
+// executed segments: Cuts[i] is the first op index of segment i+1.
+type Segmentation struct {
+	Cuts []int
+}
+
+// Segments returns the [lo, hi) op spans for a chain of n ops.
+func (s Segmentation) Segments(n int) [][2]int {
+	var out [][2]int
+	lo := 0
+	for _, c := range s.Cuts {
+		out = append(out, [2]int{lo, c})
+		lo = c
+	}
+	out = append(out, [2]int{lo, n})
+	return out
+}
+
+// String renders e.g. "[0:2)[2:6)".
+func (s Segmentation) render(n int) string {
+	str := ""
+	for _, seg := range s.Segments(n) {
+		str += fmt.Sprintf("[%d:%d)", seg[0], seg[1])
+	}
+	return str
+}
+
+// AllSegmentations enumerates all 2^(n-1) cut patterns of an n-op chain
+// (Sec. VII-B).
+func AllSegmentations(n int) []Segmentation {
+	if n < 1 {
+		return nil
+	}
+	var out []Segmentation
+	for mask := 0; mask < 1<<(n-1); mask++ {
+		var cuts []int
+		for b := 0; b < n-1; b++ {
+			if mask&(1<<b) != 0 {
+				cuts = append(cuts, b+1)
+			}
+		}
+		out = append(out, Segmentation{Cuts: cuts})
+	}
+	return out
+}
+
+// SegmentedResult reports the curve of one segmentation strategy.
+type SegmentedResult struct {
+	Segmentation Segmentation
+	Label        string
+	Curve        *pareto.Curve
+}
+
+// SegmentationStudy derives the bound of every segmentation of the chain.
+// perOp supplies each op's standalone ski-slope curve (used for
+// single-op segments, which execute unfused). Multi-op segments use the
+// tiled-fusion bound. The curve of a segmentation is the capacity-wise sum
+// of its segments' curves.
+func SegmentationStudy(c *Chain, perOp []*pareto.Curve) ([]SegmentedResult, error) {
+	if len(perOp) != len(c.Ops) {
+		return nil, fmt.Errorf("fusion: SegmentationStudy: %d per-op curves for %d ops",
+			len(perOp), len(c.Ops))
+	}
+	// Cache fused sub-chain curves by span.
+	type span struct{ lo, hi int }
+	fusedCache := map[span]*pareto.Curve{}
+	fusedFor := func(lo, hi int) (*pareto.Curve, error) {
+		key := span{lo, hi}
+		if cv, ok := fusedCache[key]; ok {
+			return cv, nil
+		}
+		cv, err := TiledFusion(c.Sub(lo, hi))
+		if err != nil {
+			return nil, err
+		}
+		fusedCache[key] = cv
+		return cv, nil
+	}
+
+	var out []SegmentedResult
+	for _, seg := range AllSegmentations(len(c.Ops)) {
+		var parts []*pareto.Curve
+		for _, sp := range seg.Segments(len(c.Ops)) {
+			if sp[1]-sp[0] == 1 {
+				parts = append(parts, perOp[sp[0]])
+				continue
+			}
+			cv, err := fusedFor(sp[0], sp[1])
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, cv)
+		}
+		curve := pareto.Sum(parts...)
+		out = append(out, SegmentedResult{
+			Segmentation: seg,
+			Label:        seg.render(len(c.Ops)),
+			Curve:        curve,
+		})
+	}
+	return out, nil
+}
+
+// BestSegmentation returns the capacity-wise best curve over all
+// segmentations (the yellow curve of Fig. 21).
+func BestSegmentation(c *Chain, perOp []*pareto.Curve) (*pareto.Curve, error) {
+	study, err := SegmentationStudy(c, perOp)
+	if err != nil {
+		return nil, err
+	}
+	curves := make([]*pareto.Curve, len(study))
+	for i, s := range study {
+		curves[i] = s.Curve
+	}
+	best := pareto.MergeMin(curves...)
+	best.AlgoMinBytes = c.FusedAlgoMinBytes()
+	best.TotalOperandBytes = c.UnfusedAlgoMinBytes()
+	return best, nil
+}

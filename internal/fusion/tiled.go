@@ -1,0 +1,192 @@
+package fusion
+
+import (
+	"fmt"
+
+	"repro/internal/pareto"
+	"repro/internal/shape"
+)
+
+// TiledFusion derives the sequential tiled-fusion bound for a chain of at
+// least two ops under the FFMT constraints of Fig. 16/17:
+//
+//   - The chain is traversed M1 = M/M0 times over blocks of M0 rows.
+//   - Op 0 follows FFMT-TiledKN: its output row may be produced in N2(0)
+//     sub-partitions, re-iterating ops 0 and 1 N2(0) times per block and
+//     re-reading op 0's input N2(0) times (Access_I,0 = N2(0)*M*K(0)).
+//   - Middle ops follow FFMT-Full: they consume and produce complete rows.
+//   - The last op may follow FFMT-TiledN, producing its output row in
+//     sub-partitions (no access penalty; the output goes to the backing
+//     store anyway).
+//   - Weights are either streamed once per traversal
+//     (Access_W = max(M1, instances) * WInst) or held resident
+//     (Access_W = total weight size; BufReq grows by the resident slice).
+//
+// The fused mapspace — M0, N2(0), the last op's output tiling, and the
+// subset of weight-resident layers — is enumerated exhaustively and the
+// Pareto frontier returned (Sec. V-E).
+func TiledFusion(c *Chain) (*pareto.Curve, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if len(c.Ops) < 2 {
+		return nil, fmt.Errorf("fusion: TiledFusion needs >= 2 ops, chain %s has %d", c.Name, len(c.Ops))
+	}
+
+	e0 := &c.Ops[0]
+	last := len(c.Ops) - 1
+
+	n2Options := shape.Divisors(e0.OutW)
+	if e0.NoOutputTiling {
+		n2Options = []int64{1}
+	}
+	lastTileOptions := shape.Divisors(c.Ops[last].OutW)
+	if c.Ops[last].NoOutputTiling {
+		lastTileOptions = []int64{1}
+	}
+
+	b := pareto.NewBuilder()
+	subsets := 1 << len(c.Ops)
+	for _, m0 := range shape.Divisors(c.M) {
+		m1 := c.M / m0
+		for _, n2 := range n2Options {
+			for f := 0; f < subsets; f++ {
+				acc, wbuf, feasibleW := weightTerms(c, m0, m1, f)
+				if !feasibleW {
+					continue
+				}
+				acc += shape.Product(n2, c.M, e0.InW)       // Access_I,0
+				acc += shape.Product(c.M, c.Ops[last].OutW) // Access_O,E-1
+				if e0.HaloRows > 0 && m1 > 1 {
+					// Sliding-window halo rows of the raw input are
+					// re-read once per additional traversal.
+					acc += shape.Product(n2, m1-1, e0.HaloRows, e0.InW)
+				}
+
+				// Mode A: the last op accumulates its full output row.
+				io := ioPeak(c, m0, n2, c.Ops[last].OutW)
+				b.Add((io+wbuf)*c.ElementSize, acc*c.ElementSize)
+
+				// Mode B: FFMT-TiledN on the last op. It needs the full
+				// input row resident, which for a two-op chain conflicts
+				// with op 0's output tiling unless N2(0) == 1.
+				if last >= 2 || n2 == 1 {
+					for _, lt := range lastTileOptions {
+						if lt == 1 {
+							continue // identical to mode A
+						}
+						ioB := ioPeak(c, m0, n2, c.Ops[last].OutW/lt)
+						b.Add((ioB+wbuf)*c.ElementSize, acc*c.ElementSize)
+					}
+				}
+			}
+		}
+	}
+	curve := b.Curve()
+	curve.AlgoMinBytes = c.FusedAlgoMinBytes()
+	curve.TotalOperandBytes = c.UnfusedAlgoMinBytes()
+	return curve, nil
+}
+
+// weightTerms returns the weight access count and resident-weight buffer
+// footprint (both in elements) for residency subset f, where bit e of f
+// marks op e's weights as buffer-resident. feasible is false when a
+// resident op's instance slice would not be well defined (never happens
+// with perfect factors; kept for safety).
+func weightTerms(c *Chain, m0, m1 int64, f int) (acc, buf int64, feasible bool) {
+	for e := range c.Ops {
+		op := &c.Ops[e]
+		inst := c.Instances(e)
+		if f&(1<<e) != 0 {
+			// Resident: each instance's weights loaded exactly once.
+			acc += c.WeightTotalElements(e)
+			// Concurrent instances whose rows fall inside one M0 block.
+			concurrent := shape.Max(1, shape.CeilDiv(m0, op.RowsPerInst))
+			buf += shape.Product(op.WInst, concurrent)
+		} else {
+			// Streamed once per block traversal; a block spanning
+			// multiple instances streams each instance's slice.
+			acc += shape.Product(shape.Max(m1, inst), op.WInst)
+		}
+	}
+	return acc, buf, true
+}
+
+// ioPeak computes the peak InputOutputBuf requirement in elements across
+// the sequential execution of the chain's ops for one M0-row block:
+// op 0 streams its input (FFMT-TiledKN with minimal input tile) and holds
+// an OutW/N2 output slice; op 1 consumes that slice while accumulating its
+// full output row; later middle ops hold full input and output rows; the
+// last op's held output is lastOut wide.
+func ioPeak(c *Chain, m0, n2, lastOut int64) int64 {
+	last := len(c.Ops) - 1
+	peak := int64(0)
+	for e := range c.Ops {
+		op := &c.Ops[e]
+		in := op.InW
+		switch e {
+		case 0:
+			in = 1
+			if op.HaloRows > 0 {
+				// Sliding-window ops must see whole input rows.
+				in = op.InW
+			}
+		case 1:
+			in = shape.CeilDiv(op.InW, n2)
+		}
+		out := op.OutW
+		if e == 0 {
+			out = shape.CeilDiv(op.OutW, n2)
+		}
+		if e == last {
+			out = lastOut
+		}
+		need := shape.Product(m0+op.HaloRows, in) + shape.Product(m0, out)
+		if need > peak {
+			peak = need
+		}
+	}
+	return peak
+}
+
+// ReductionFactor evaluates how much a candidate curve improves on a
+// baseline at each of the given capacities: baseline accesses divided by
+// candidate accesses (Fig. 18b). Infeasible probes are skipped.
+type ReductionPoint struct {
+	BufferBytes int64
+	Factor      float64
+}
+
+// ReductionFactors computes baseline/candidate access ratios at the union
+// of both curves' breakpoints.
+func ReductionFactors(baseline, candidate *pareto.Curve) []ReductionPoint {
+	var out []ReductionPoint
+	seen := map[int64]bool{}
+	for _, src := range []*pareto.Curve{baseline, candidate} {
+		for _, p := range src.Points() {
+			if seen[p.BufferBytes] {
+				continue
+			}
+			seen[p.BufferBytes] = true
+			ba, ok1 := baseline.AccessesAt(p.BufferBytes)
+			ca, ok2 := candidate.AccessesAt(p.BufferBytes)
+			if !ok1 || !ok2 || ca == 0 {
+				continue
+			}
+			out = append(out, ReductionPoint{
+				BufferBytes: p.BufferBytes,
+				Factor:      float64(ba) / float64(ca),
+			})
+		}
+	}
+	sortReduction(out)
+	return out
+}
+
+func sortReduction(pts []ReductionPoint) {
+	for i := 1; i < len(pts); i++ {
+		for j := i; j > 0 && pts[j].BufferBytes < pts[j-1].BufferBytes; j-- {
+			pts[j], pts[j-1] = pts[j-1], pts[j]
+		}
+	}
+}

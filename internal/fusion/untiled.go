@@ -1,0 +1,54 @@
+package fusion
+
+import (
+	"fmt"
+
+	"repro/internal/pareto"
+	"repro/internal/shape"
+)
+
+// UntiledFusion derives the bound for fused mappings that keep each
+// intermediate tensor fully buffered (Sec. V "Untiled Fusion"). With whole
+// intermediates resident, the individual layers impose no mutual mapping
+// constraints: every weight is read exactly once, the first input is read
+// once and the last output written once — the fused algorithmic minimum —
+// but the buffer must hold, while op e runs, its complete input and output
+// tensors. The result is the paper's nearly-vertical blue curve: a small
+// set of capacities (varying only via weight-tile residency) all near the
+// dominant intermediate footprint.
+func UntiledFusion(c *Chain) (*pareto.Curve, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if len(c.Ops) < 2 {
+		return nil, fmt.Errorf("fusion: UntiledFusion needs >= 2 ops, chain %s has %d", c.Name, len(c.Ops))
+	}
+
+	// Peak live footprint across the sequential layer executions: op e
+	// needs its full M x InW input and M x OutW output simultaneously.
+	// The first input and last output stream from/to the backing store,
+	// so only interior tensors are charged on the boundary ops.
+	peak := int64(0)
+	for e := range c.Ops {
+		var need int64
+		if e > 0 {
+			need += shape.Product(c.M, c.Ops[e].InW)
+		}
+		if e < len(c.Ops)-1 {
+			need += shape.Product(c.M, c.Ops[e].OutW)
+		}
+		// One streamed weight row alongside.
+		need += c.Ops[e].OutW
+		if need > peak {
+			peak = need
+		}
+	}
+
+	acc := c.FusedAlgoMinBytes()
+	b := pareto.NewBuilder()
+	b.Add(peak*c.ElementSize, acc)
+	curve := b.Curve()
+	curve.AlgoMinBytes = c.FusedAlgoMinBytes()
+	curve.TotalOperandBytes = c.UnfusedAlgoMinBytes()
+	return curve, nil
+}

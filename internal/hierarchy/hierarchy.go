@@ -1,0 +1,184 @@
+// Package hierarchy extrapolates a single Snowcat-derived ski-slope curve
+// to a full multi-level memory hierarchy (Sec. III-B.1 / Fig. 7): the
+// curve probed at each level's aggregate capacity bounds the traffic
+// between that level and the next-outer one. On top of the per-level
+// traffic bounds it derives energy and bandwidth-time lower bounds —
+// data-movement energy being the paper's core motivation.
+package hierarchy
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/pareto"
+	"repro/internal/shape"
+)
+
+// Level is one storage level, innermost first. The outermost level is the
+// backing store: its capacity is ignored (treated as infinite) and its
+// energy/bandwidth describe transfers between it and the level below.
+type Level struct {
+	Name          string
+	CapacityBytes int64
+	// EnergyPerBytePJ is the energy to move one byte between this level
+	// and the next-inner one.
+	EnergyPerBytePJ float64
+	// BandwidthBytesPerSec is the sustainable transfer rate between this
+	// level and the next-inner one (0 = unconstrained).
+	BandwidthBytesPerSec float64
+}
+
+// Hierarchy is an ordered stack of levels, innermost first.
+type Hierarchy struct {
+	Name   string
+	Levels []Level
+}
+
+// Validate checks there are at least two levels with strictly increasing
+// capacities below the backing store.
+func (h Hierarchy) Validate() error {
+	if len(h.Levels) < 2 {
+		return fmt.Errorf("hierarchy %s: need at least an inner level and a backing store", h.Name)
+	}
+	for i := 0; i < len(h.Levels)-1; i++ {
+		l := h.Levels[i]
+		if l.CapacityBytes < 1 {
+			return fmt.Errorf("hierarchy %s: level %s has no capacity", h.Name, l.Name)
+		}
+		if i > 0 && l.CapacityBytes <= h.Levels[i-1].CapacityBytes {
+			return fmt.Errorf("hierarchy %s: level %s capacity not above %s",
+				h.Name, l.Name, h.Levels[i-1].Name)
+		}
+		if l.EnergyPerBytePJ < 0 || l.BandwidthBytesPerSec < 0 {
+			return fmt.Errorf("hierarchy %s: level %s has negative energy/bandwidth", h.Name, l.Name)
+		}
+	}
+	return nil
+}
+
+// LinkBound is the traffic bound across one hierarchy link.
+type LinkBound struct {
+	Outer, Inner  string
+	CapacityBytes int64 // aggregate capacity of the inner level
+	AccessBytes   int64
+	Feasible      bool
+	EnergyPJ      float64
+	TimeSec       float64 // AccessBytes / link bandwidth (0 if unconstrained)
+}
+
+// Report is the multi-level extrapolation of one workload curve.
+type Report struct {
+	Hierarchy Hierarchy
+	Links     []LinkBound
+
+	// TotalEnergyPJ lower-bounds the data-movement energy across all
+	// links (only feasible links contribute).
+	TotalEnergyPJ float64
+	// TimeLowerBoundSec is the slowest link's transfer time: no schedule
+	// can finish the data movement faster.
+	TimeLowerBoundSec float64
+	// BottleneckLink names the link that sets TimeLowerBoundSec.
+	BottleneckLink string
+	// ThroughputUpperBoundMACs is macs / TimeLowerBoundSec (0 when no
+	// link has a bandwidth).
+	ThroughputUpperBoundMACs float64
+}
+
+// Analyze probes the curve at every level capacity. Per Sec. III-B.1 the
+// composed bound is valid but not guaranteed tight (Pareto-optimal
+// mappings need not compose across levels).
+func Analyze(c *pareto.Curve, h Hierarchy, macs int64) (*Report, error) {
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Report{Hierarchy: h}
+	for i := 0; i < len(h.Levels)-1; i++ {
+		inner := h.Levels[i]
+		outer := h.Levels[i+1]
+		acc, ok := c.AccessesAt(inner.CapacityBytes)
+		lb := LinkBound{
+			Outer:         outer.Name,
+			Inner:         inner.Name,
+			CapacityBytes: inner.CapacityBytes,
+			AccessBytes:   acc,
+			Feasible:      ok,
+		}
+		if ok {
+			lb.EnergyPJ = float64(acc) * outer.EnergyPerBytePJ
+			r.TotalEnergyPJ += lb.EnergyPJ
+			if outer.BandwidthBytesPerSec > 0 {
+				lb.TimeSec = float64(acc) / outer.BandwidthBytesPerSec
+				if lb.TimeSec > r.TimeLowerBoundSec {
+					r.TimeLowerBoundSec = lb.TimeSec
+					r.BottleneckLink = fmt.Sprintf("%s->%s", outer.Name, inner.Name)
+				}
+			}
+		}
+		r.Links = append(r.Links, lb)
+	}
+	if r.TimeLowerBoundSec > 0 && macs > 0 {
+		r.ThroughputUpperBoundMACs = float64(macs) / r.TimeLowerBoundSec
+	}
+	return r, nil
+}
+
+// String renders the report as an aligned table.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "hierarchy %s\n", r.Hierarchy.Name)
+	fmt.Fprintf(&b, "%-16s %12s %14s %14s %12s\n", "link", "capacity", "traffic", "energy(uJ)", "time(us)")
+	for _, l := range r.Links {
+		if !l.Feasible {
+			fmt.Fprintf(&b, "%-16s %12s %14s %14s %12s\n",
+				l.Outer+"->"+l.Inner, shape.FormatBytes(l.CapacityBytes), "infeasible", "-", "-")
+			continue
+		}
+		fmt.Fprintf(&b, "%-16s %12s %14s %14.3f %12.3f\n",
+			l.Outer+"->"+l.Inner, shape.FormatBytes(l.CapacityBytes),
+			shape.FormatBytes(l.AccessBytes), l.EnergyPJ/1e6, l.TimeSec*1e6)
+	}
+	fmt.Fprintf(&b, "energy lower bound: %.3f uJ\n", r.TotalEnergyPJ/1e6)
+	if r.TimeLowerBoundSec > 0 {
+		fmt.Fprintf(&b, "time lower bound: %.3f us (bottleneck %s)\n",
+			r.TimeLowerBoundSec*1e6, r.BottleneckLink)
+	}
+	return b.String()
+}
+
+// A100Like returns an A100-shaped hierarchy: 20.25 MB aggregate L1,
+// 40 MB L2, HBM at 1.5 TB/s. Energy constants are representative
+// technology numbers (pJ/B): 1.5 small SRAM, 7 large SRAM, 80 DRAM.
+func A100Like() Hierarchy {
+	return Hierarchy{
+		Name: "a100-like",
+		Levels: []Level{
+			{Name: "L1", CapacityBytes: 20<<20 + 256<<10, EnergyPerBytePJ: 1.5, BandwidthBytesPerSec: 19e12},
+			{Name: "L2", CapacityBytes: 40 << 20, EnergyPerBytePJ: 7, BandwidthBytesPerSec: 5e12},
+			{Name: "HBM", EnergyPerBytePJ: 80, BandwidthBytesPerSec: 1.5e12},
+		},
+	}
+}
+
+// EdgeLike returns a small edge-accelerator hierarchy: 64 KB scratchpad,
+// 2 MB SRAM, LPDDR at 25 GB/s.
+func EdgeLike() Hierarchy {
+	return Hierarchy{
+		Name: "edge-like",
+		Levels: []Level{
+			{Name: "SPM", CapacityBytes: 64 << 10, EnergyPerBytePJ: 1.0, BandwidthBytesPerSec: 400e9},
+			{Name: "SRAM", CapacityBytes: 2 << 20, EnergyPerBytePJ: 5, BandwidthBytesPerSec: 100e9},
+			{Name: "LPDDR", EnergyPerBytePJ: 120, BandwidthBytesPerSec: 25e9},
+		},
+	}
+}
+
+// TPULike returns a TPU-v4-shaped hierarchy: 128 MB unified CMEM over HBM.
+func TPULike() Hierarchy {
+	return Hierarchy{
+		Name: "tpu-like",
+		Levels: []Level{
+			{Name: "VMEM", CapacityBytes: 128 << 20, EnergyPerBytePJ: 7, BandwidthBytesPerSec: 10e12},
+			{Name: "HBM", EnergyPerBytePJ: 80, BandwidthBytesPerSec: 1.2e12},
+		},
+	}
+}

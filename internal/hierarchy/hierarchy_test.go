@@ -1,0 +1,140 @@
+package hierarchy
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bound"
+	"repro/internal/einsum"
+	"repro/internal/pareto"
+)
+
+func testCurve() *pareto.Curve {
+	return pareto.FromPoints([]pareto.Point{
+		{BufferBytes: 1 << 10, AccessBytes: 1 << 30},
+		{BufferBytes: 1 << 20, AccessBytes: 1 << 26},
+		{BufferBytes: 1 << 25, AccessBytes: 1 << 22},
+	})
+}
+
+func TestValidate(t *testing.T) {
+	if err := A100Like().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := EdgeLike().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := TPULike().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Hierarchy{Name: "one", Levels: []Level{{Name: "x", CapacityBytes: 1}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("single-level hierarchy accepted")
+	}
+	shrink := Hierarchy{Name: "shrink", Levels: []Level{
+		{Name: "a", CapacityBytes: 1 << 20},
+		{Name: "b", CapacityBytes: 1 << 10},
+		{Name: "dram"},
+	}}
+	if err := shrink.Validate(); err == nil {
+		t.Fatal("non-increasing capacities accepted")
+	}
+}
+
+func TestAnalyzeTrafficMonotone(t *testing.T) {
+	r, err := Analyze(testCurve(), A100Like(), 1<<40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Links) != 2 {
+		t.Fatalf("links = %d", len(r.Links))
+	}
+	// Inner links carry at least as much traffic as outer ones.
+	if r.Links[0].AccessBytes < r.Links[1].AccessBytes {
+		t.Fatalf("inner traffic %d below outer %d",
+			r.Links[0].AccessBytes, r.Links[1].AccessBytes)
+	}
+	if r.TotalEnergyPJ <= 0 {
+		t.Fatal("no energy bound")
+	}
+	if r.TimeLowerBoundSec <= 0 || r.BottleneckLink == "" {
+		t.Fatalf("no time bound: %+v", r)
+	}
+	if r.ThroughputUpperBoundMACs <= 0 {
+		t.Fatal("no throughput bound")
+	}
+}
+
+func TestAnalyzeEnergyComposition(t *testing.T) {
+	// Hand-computed: curve accesses 2^26 at 1 MB L1-capacity and 2^22 at
+	// 32 MB-capacity L2.
+	h := Hierarchy{
+		Name: "hand",
+		Levels: []Level{
+			{Name: "L1", CapacityBytes: 1 << 20, EnergyPerBytePJ: 0 /*unused for inner*/},
+			{Name: "L2", CapacityBytes: 1 << 25, EnergyPerBytePJ: 2, BandwidthBytesPerSec: 1 << 26},
+			{Name: "DRAM", EnergyPerBytePJ: 10, BandwidthBytesPerSec: 1 << 22},
+		},
+	}
+	r, err := Analyze(testCurve(), h, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEnergy := float64(int64(1)<<26)*2 + float64(int64(1)<<22)*10
+	if r.TotalEnergyPJ != wantEnergy {
+		t.Fatalf("energy = %f, want %f", r.TotalEnergyPJ, wantEnergy)
+	}
+	// Link times: L2->L1: 2^26/2^26 = 1 s; DRAM->L2: 2^22/2^22 = 1 s.
+	// Either can be the bottleneck; the bound must be 1 s.
+	if r.TimeLowerBoundSec != 1 {
+		t.Fatalf("time bound = %f", r.TimeLowerBoundSec)
+	}
+	if r.ThroughputUpperBoundMACs != 1000 {
+		t.Fatalf("throughput bound = %f", r.ThroughputUpperBoundMACs)
+	}
+}
+
+func TestAnalyzeInfeasibleLevel(t *testing.T) {
+	h := Hierarchy{
+		Name: "tiny",
+		Levels: []Level{
+			{Name: "RF", CapacityBytes: 16, EnergyPerBytePJ: 1},
+			{Name: "DRAM", EnergyPerBytePJ: 10, BandwidthBytesPerSec: 1e9},
+		},
+	}
+	r, err := Analyze(testCurve(), h, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Links[0].Feasible {
+		t.Fatal("16 B level should be infeasible for this curve")
+	}
+	if r.TotalEnergyPJ != 0 {
+		t.Fatal("infeasible link contributed energy")
+	}
+	if !strings.Contains(r.String(), "infeasible") {
+		t.Fatal("report should mark the infeasible link")
+	}
+}
+
+func TestRealWorkloadThroughHierarchies(t *testing.T) {
+	g := einsum.GEMM("g", 256, 256, 256)
+	c := bound.Derive(g, bound.Options{Workers: 1}).Curve
+	for _, h := range []Hierarchy{A100Like(), EdgeLike(), TPULike()} {
+		r, err := Analyze(c, h, g.MACs())
+		if err != nil {
+			t.Fatalf("%s: %v", h.Name, err)
+		}
+		for _, l := range r.Links {
+			if !l.Feasible {
+				t.Fatalf("%s: link %s->%s infeasible for a 256^3 GEMM", h.Name, l.Outer, l.Inner)
+			}
+			if l.AccessBytes < g.AlgorithmicMinBytes() {
+				t.Fatalf("%s: link below algorithmic minimum", h.Name)
+			}
+		}
+		if r.String() == "" {
+			t.Fatal("empty report")
+		}
+	}
+}

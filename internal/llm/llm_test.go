@@ -1,0 +1,149 @@
+package llm
+
+import (
+	"testing"
+
+	"repro/internal/bound"
+)
+
+func scaledConfig() Config {
+	// 1/8-scale GPT-3-6.7b: seq 256, d 512, 32 heads of 16, hidden 2048.
+	return GPT3_6_7B().Scaled(8)
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := GPT3_6_7B().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := scaledConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := GPT3_6_7B()
+	bad.HeadDim = 64
+	if err := bad.Validate(); err == nil {
+		t.Fatal("inconsistent head dims accepted")
+	}
+	bad = GPT3_6_7B()
+	bad.Batch = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero batch accepted")
+	}
+}
+
+func TestGPT3Shapes(t *testing.T) {
+	c := GPT3_6_7B()
+	if c.L() != 32768 {
+		t.Fatalf("L = %d, want 32768", c.L())
+	}
+	q := c.QProj()
+	if q.RankShape("M") != 32768 || q.RankShape("K") != 4096 || q.RankShape("N") != 4096 {
+		t.Fatalf("Q_proj shape wrong: %s", q)
+	}
+	qk := c.BmmQK()
+	if qk.RankShape("H") != 512 || qk.RankShape("M") != 2048 ||
+		qk.RankShape("K") != 128 || qk.RankShape("N") != 2048 {
+		t.Fatalf("bmm_QK shape wrong: %s", qk)
+	}
+	if len(c.AllEinsums()) != 8 {
+		t.Fatalf("block should have 8 einsums, got %d", len(c.AllEinsums()))
+	}
+}
+
+func TestBlockMACs(t *testing.T) {
+	c := GPT3_6_7B()
+	l, d, h := c.L(), c.D, c.Hidden
+	want := 4*l*d*d + 2*l*d*h + 2*(c.Batch*c.Heads)*c.SeqLen*c.SeqLen*c.HeadDim
+	if got := c.BlockMACs(); got != want {
+		t.Fatalf("BlockMACs = %d, want %d", got, want)
+	}
+}
+
+func TestSixEinsumChainWidths(t *testing.T) {
+	chain := GPT3_6_7B().SixEinsumChain()
+	if err := chain.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if chain.Len() != 6 {
+		t.Fatalf("chain has %d ops", chain.Len())
+	}
+	// bmm_QK rows carry full head-expanded scores.
+	if chain.Ops[1].OutW != 32*2048 {
+		t.Fatalf("bmm_QK OutW = %d, want %d", chain.Ops[1].OutW, 32*2048)
+	}
+	if !chain.Ops[1].NoOutputTiling || !chain.Ops[3].NoOutputTiling {
+		t.Fatal("softmax/layernorm constraints missing")
+	}
+}
+
+func TestBlockStudyScaled(t *testing.T) {
+	c := scaledConfig()
+	study, err := NewBlockStudy(c, bound.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The fused chain bottoms out at the fused algorithmic minimum.
+	if study.BlockSegmented.MinAccessBytes() != study.AlgoMinFusedBytes {
+		t.Fatalf("segmented floor %d != fused algo min %d",
+			study.BlockSegmented.MinAccessBytes(), study.AlgoMinFusedBytes)
+	}
+	// Fusion eliminates intermediates, so its floor is strictly below the
+	// unfused algorithmic minimum.
+	if study.AlgoMinFusedBytes >= study.AlgoMinUnfusedBytes {
+		t.Fatal("fused algorithmic minimum should be below unfused")
+	}
+	// Segmented is pointwise at least as good as both extremes.
+	for _, p := range study.ChainUnfused.Points() {
+		got, ok := study.ChainSegmented.AccessesAt(p.BufferBytes)
+		if !ok || got > p.AccessBytes {
+			t.Fatalf("segmented (%d,%v) worse than unfused %+v", got, ok, p)
+		}
+	}
+	for _, p := range study.ChainFused.Points() {
+		got, ok := study.ChainSegmented.AccessesAt(p.BufferBytes)
+		if !ok || got > p.AccessBytes {
+			t.Fatalf("segmented (%d,%v) worse than fully fused %+v", got, ok, p)
+		}
+	}
+
+	// At the maximal effectual buffer the fusion reduction is large (the
+	// paper reports 5.6x at full scale; the scaled model must still show a
+	// clear multiple).
+	maxEff := study.MaxEffectualBufferBytes()
+	red, ok := study.FusionReduction(maxEff)
+	if !ok {
+		t.Fatal("reduction probe infeasible")
+	}
+	if red < 1.5 {
+		t.Fatalf("fusion reduction at max effectual buffer = %.2f, want > 1.5", red)
+	}
+	if sav, ok := study.AbsoluteSavingsBytes(maxEff); !ok || sav <= 0 {
+		t.Fatalf("absolute savings = (%d,%v), want positive", sav, ok)
+	}
+
+	// At tiny capacities fusion should NOT dominate: the segmented curve
+	// follows the unfused baseline (Fig. 21's small-buffer regime), so the
+	// reduction there is ~1.
+	smallBuf := study.ChainUnfused.MinBufferBytes() * 4
+	if redSmall, ok := study.FusionReduction(smallBuf); ok && redSmall > red {
+		t.Fatalf("reduction at small buffer (%.2f) exceeds max-effectual reduction (%.2f)",
+			redSmall, red)
+	}
+}
+
+func TestMHAConfigFromBlock(t *testing.T) {
+	m := scaledConfig().MHA()
+	if m.Instances != 16 || m.Seq != 256 || m.Heads != 32 || m.FeatureDim != 16 {
+		t.Fatalf("MHA config = %+v", m)
+	}
+}
+
+func TestScaledKeepsConsistency(t *testing.T) {
+	s := GPT3_6_7B().Scaled(4)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.SeqLen != 512 || s.D != 1024 || s.HeadDim != 32 || s.Hidden != 4096 {
+		t.Fatalf("Scaled(4) = %+v", s)
+	}
+}

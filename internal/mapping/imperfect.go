@@ -1,0 +1,94 @@
+package mapping
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/einsum"
+	"repro/internal/shape"
+)
+
+// Imperfect factorization support (the Ruby extension the paper cites as
+// a straightforward smoothing of the ski-slope curves): inner tile sizes
+// are no longer restricted to divisors of the rank shape; the outer loop
+// bound becomes ceil(shape/inner) with a partial boundary tile.
+
+// ImperfectCandidates returns the inner-tile candidates for a rank of the
+// given shape: all divisors plus (up to) extra geometrically spaced
+// non-divisor sizes, deduplicated and ascending. extra <= 0 yields just
+// the divisors (the perfect-factor space).
+func ImperfectCandidates(n int64, extra int) []int64 {
+	set := map[int64]bool{}
+	for _, d := range shape.Divisors(n) {
+		set[d] = true
+	}
+	if extra > 0 {
+		// Geometric grid over [1, n].
+		ratio := float64(n)
+		step := 1.0
+		if extra > 1 {
+			step = math.Pow(ratio, 1.0/float64(extra))
+		}
+		v := 1.0
+		for i := 0; i <= extra; i++ {
+			c := int64(v + 0.5)
+			if c < 1 {
+				c = 1
+			}
+			if c > n {
+				c = n
+			}
+			set[c] = true
+			v *= step
+		}
+	}
+	out := make([]int64, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SpaceImperfect enumerates the imperfect-factor mapspace: every
+// combination of inner-tile candidates (divisors plus `extra` geometric
+// samples per rank) with every distinct outer loop order. Splits may have
+// Inner*Outer > shape (the last tile is partial). The Mapping value is
+// reused across visits.
+func SpaceImperfect(e *einsum.Einsum, extra int, visit func(*Mapping)) {
+	n := len(e.Ranks)
+	if n == 0 {
+		return
+	}
+	rankNames := make([]string, n)
+	options := make([][]shape.Split, n)
+	for i, r := range e.Ranks {
+		rankNames[i] = r.Name
+		cands := ImperfectCandidates(r.Shape, extra)
+		sp := make([]shape.Split, len(cands))
+		for j, c := range cands {
+			sp[j] = shape.Split{Inner: c, Outer: shape.CeilDiv(r.Shape, c)}
+		}
+		options[i] = sp
+	}
+
+	m := &Mapping{Splits: make(map[string]shape.Split, n)}
+	idx := make([]int, n)
+	for {
+		for i, r := range rankNames {
+			m.Splits[r] = options[i][idx[i]]
+		}
+		emitPermutations(m, rankNames, visit)
+		i := n - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(options[i]) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			return
+		}
+	}
+}

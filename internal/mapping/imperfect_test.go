@@ -1,0 +1,79 @@
+package mapping
+
+import (
+	"testing"
+
+	"repro/internal/einsum"
+	"repro/internal/shape"
+)
+
+func TestImperfectCandidatesContainDivisors(t *testing.T) {
+	for _, n := range []int64{1, 7, 12, 100, 96} {
+		cands := ImperfectCandidates(n, 8)
+		set := map[int64]bool{}
+		for _, c := range cands {
+			set[c] = true
+		}
+		for _, d := range shape.Divisors(n) {
+			if !set[d] {
+				t.Fatalf("n=%d: divisor %d missing from candidates %v", n, d, cands)
+			}
+		}
+	}
+}
+
+func TestSpaceImperfectCoversShape(t *testing.T) {
+	g := einsum.GEMM("g", 12, 10, 6)
+	count := 0
+	SpaceImperfect(g, 6, func(m *Mapping) {
+		count++
+		for _, r := range g.Ranks {
+			s := m.Splits[r.Name]
+			if s.Inner < 1 || s.Outer < 1 {
+				t.Fatalf("bad split %+v", s)
+			}
+			if s.Inner*s.Outer < r.Shape {
+				t.Fatalf("split %+v does not cover rank %s shape %d", s, r.Name, r.Shape)
+			}
+			if s.Outer != shape.CeilDiv(r.Shape, s.Inner) {
+				t.Fatalf("split %+v outer is not ceil(shape/inner) for shape %d", s, r.Shape)
+			}
+		}
+	})
+	if count == 0 {
+		t.Fatal("empty imperfect space")
+	}
+
+	// The imperfect space is strictly larger than the perfect one.
+	perfect := 0
+	Space(g, func(*Mapping) { perfect++ })
+	if count <= perfect {
+		t.Fatalf("imperfect space %d not above perfect %d", count, perfect)
+	}
+}
+
+func TestSpaceImperfectZeroExtraEqualsPerfect(t *testing.T) {
+	g := einsum.GEMM("g", 8, 6, 4)
+	imperfect := map[string]bool{}
+	SpaceImperfect(g, 0, func(m *Mapping) { imperfect[m.String()] = true })
+	perfect := map[string]bool{}
+	Space(g, func(m *Mapping) { perfect[m.String()] = true })
+	if len(imperfect) != len(perfect) {
+		t.Fatalf("extra=0 should match the perfect space: %d vs %d",
+			len(imperfect), len(perfect))
+	}
+	for k := range perfect {
+		if !imperfect[k] {
+			t.Fatalf("perfect mapping %s missing", k)
+		}
+	}
+}
+
+func TestSpaceImperfectEmptyEinsum(t *testing.T) {
+	e := &einsum.Einsum{Name: "none", ElementSize: 2}
+	called := false
+	SpaceImperfect(e, 4, func(*Mapping) { called = true })
+	if called {
+		t.Fatal("rank-less einsum should produce no mappings")
+	}
+}

@@ -1,0 +1,253 @@
+// Package multilevel derives *jointly achievable* bounds for a
+// three-level Snowcat (L1 buffer, L2 buffer, backing store), implementing
+// the tightening of multi-level bounds the paper lists as future work.
+//
+// Probing the two-level ski-slope curve at each level's capacity (Fig. 7)
+// yields valid per-link bounds, but the Pareto-optimal mappings need not
+// compose across levels (Sec. III-B.1). This package enumerates the full
+// three-level mapspace — every rank split into an L1 tile, an L2 factor
+// and outer loops, with both loop orders permuted — so each point is one
+// mapping that achieves its DRAM and L2 traffic simultaneously. The DRAM
+// curve is therefore at least as high as the two-level curve (it carries
+// the extra inner-level constraint), and the gap measures the composed
+// probe's optimism.
+package multilevel
+
+import (
+	"fmt"
+
+	"repro/internal/einsum"
+	"repro/internal/pareto"
+	"repro/internal/shape"
+)
+
+// Result bundles the three-level bounds for one L1 capacity.
+type Result struct {
+	L1CapacityBytes int64
+
+	// DRAM is the frontier of (L2 footprint, DRAM accesses) over
+	// mappings whose L1 tiles fit the L1 capacity.
+	DRAM *pareto.Curve
+	// L2 is the frontier of (L2 footprint, L2->L1 traffic) over the same
+	// mappings.
+	L2 *pareto.Curve
+	// Mappings is the number of three-level mappings evaluated.
+	Mappings int64
+
+	// joint tracks, per L2 footprint, the best DRAM traffic and the best
+	// L2 traffic among mappings achieving that DRAM traffic — the data
+	// behind MinL2GivenOptimalDRAM.
+	joint map[int64]jointEntry
+}
+
+type jointEntry struct {
+	dram int64
+	l2   int64
+}
+
+// Derive exhaustively walks the three-level mapspace of e. Only mappings
+// whose L1 footprint fits l1CapBytes are kept. Intended for moderate
+// shapes: the space grows with the cube of the per-rank three-split
+// counts.
+func Derive(e *einsum.Einsum, l1CapBytes int64) (*Result, error) {
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	if l1CapBytes < 1 {
+		return nil, fmt.Errorf("multilevel: non-positive L1 capacity %d", l1CapBytes)
+	}
+
+	n := len(e.Ranks)
+	names := make([]string, n)
+	options := make([][]shape.ThreeSplit, n)
+	for i, r := range e.Ranks {
+		names[i] = r.Name
+		options[i] = shape.ThreeSplits(r.Shape)
+	}
+
+	type tensorInfo struct {
+		t      *einsum.Tensor
+		output bool
+	}
+	tensors := make([]tensorInfo, len(e.Tensors))
+	for i := range e.Tensors {
+		tensors[i] = tensorInfo{t: &e.Tensors[i], output: e.Tensors[i].Output}
+	}
+
+	dramB := pareto.NewBuilder()
+	l2B := pareto.NewBuilder()
+	res := &Result{L1CapacityBytes: l1CapBytes, joint: map[int64]jointEntry{}}
+	es := e.ElementSize
+
+	tiles0 := map[string]int64{}
+	tiles1 := map[string]int64{}
+	boundsMid := map[string]int64{}
+	boundsOut := map[string]int64{}
+
+	idx := make([]int, n)
+	perms := shape.Permutations(n)
+	for {
+		feasible := true
+		for i, name := range names {
+			ts := options[i][idx[i]]
+			tiles0[name] = ts.L0
+			tiles1[name] = ts.L0 * ts.L1
+			boundsMid[name] = ts.L1
+			boundsOut[name] = ts.L2
+		}
+		var buf1, buf2 int64
+		for _, ti := range tensors {
+			buf1 += e.Footprint(ti.t, tiles0)
+			buf2 += e.Footprint(ti.t, tiles1)
+		}
+		if buf1*es > l1CapBytes {
+			feasible = false
+		}
+
+		if feasible {
+			// Orders: outer (DRAM-level) and mid (L2-level) loop nests.
+			for _, pOut := range perms {
+				outOrder := permNames(names, pOut)
+				var dram int64
+				for _, ti := range tensors {
+					dram += e.Footprint(ti.t, tiles1) *
+						iterations(ti.t, outOrder, nil, boundsOut, nil)
+				}
+				for _, pMid := range perms {
+					midOrder := permNames(names, pMid)
+					var l2traffic int64
+					for _, ti := range tensors {
+						l2traffic += e.Footprint(ti.t, tiles0) *
+							iterations(ti.t, outOrder, midOrder, boundsOut, boundsMid)
+					}
+					res.Mappings++
+					dramB.Add(buf2*es, dram*es)
+					l2B.Add(buf2*es, l2traffic*es)
+					key := buf2 * es
+					je, ok := res.joint[key]
+					switch {
+					case !ok || dram*es < je.dram:
+						res.joint[key] = jointEntry{dram: dram * es, l2: l2traffic * es}
+					case dram*es == je.dram && l2traffic*es < je.l2:
+						je.l2 = l2traffic * es
+						res.joint[key] = je
+					}
+				}
+			}
+		}
+
+		i := n - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(options[i]) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			break
+		}
+	}
+
+	res.DRAM = dramB.Curve()
+	res.DRAM.AlgoMinBytes = e.AlgorithmicMinBytes()
+	res.DRAM.TotalOperandBytes = e.TotalOperandBytes()
+	res.L2 = l2B.Curve()
+	res.L2.AlgoMinBytes = e.AlgorithmicMinBytes()
+	res.L2.TotalOperandBytes = e.TotalOperandBytes()
+	return res, nil
+}
+
+func permNames(names []string, perm []int) []string {
+	out := make([]string, len(perm))
+	for i, p := range perm {
+		out[i] = names[p]
+	}
+	return out
+}
+
+// iterations applies the Snowcat product rule over a composite loop nest:
+// the outer order (bounds boundsOut) enclosing the optional mid order
+// (bounds boundsMid). Loops with bound 1 are transparent.
+func iterations(t *einsum.Tensor, outOrder, midOrder []string, boundsOut, boundsMid map[string]int64) int64 {
+	type loop struct {
+		rank  string
+		bound int64
+	}
+	var nest []loop
+	for _, r := range outOrder {
+		nest = append(nest, loop{rank: r, bound: boundsOut[r]})
+	}
+	for _, r := range midOrder {
+		nest = append(nest, loop{rank: r, bound: boundsMid[r]})
+	}
+	inner := -1
+	for i := len(nest) - 1; i >= 0; i-- {
+		if nest[i].bound > 1 && t.Relevant(nest[i].rank) {
+			inner = i
+			break
+		}
+	}
+	iters := int64(1)
+	for i := 0; i <= inner; i++ {
+		if nest[i].bound > 1 {
+			iters *= nest[i].bound
+		}
+	}
+	return iters
+}
+
+// MinL2GivenOptimalDRAM returns, for an L2 capacity, the smallest L2->L1
+// traffic achievable by a mapping that simultaneously attains the minimal
+// DRAM traffic at that capacity. Because the loop order that minimizes
+// DRAM traffic is generally not the one that minimizes L2 traffic, this
+// value can exceed the unconstrained L2 bound — exactly the
+// non-composability of per-level optima that makes the Fig. 7 probe a
+// valid but potentially loose multi-level bound.
+func (r *Result) MinL2GivenOptimalDRAM(l2CapBytes int64) (l2, dram int64, ok bool) {
+	dram = -1
+	for buf, je := range r.joint {
+		if buf > l2CapBytes {
+			continue
+		}
+		if dram < 0 || je.dram < dram {
+			dram = je.dram
+			l2 = je.l2
+		} else if je.dram == dram && je.l2 < l2 {
+			l2 = je.l2
+		}
+	}
+	if dram < 0 {
+		return 0, 0, false
+	}
+	return l2, dram, true
+}
+
+// CompositionGap reports, per capacity, the ratio between the L2 traffic
+// of a DRAM-optimal mapping and the unconstrained L2 traffic bound
+// (>= 1; > 1 means no single mapping attains both per-level optima).
+type GapPoint struct {
+	L2CapacityBytes int64
+	FreeL2          int64 // unconstrained L2 traffic bound
+	JointL2         int64 // best L2 traffic among DRAM-optimal mappings
+	Ratio           float64
+	Feasible        bool
+}
+
+// CompositionGap evaluates the gap at each capacity.
+func (r *Result) CompositionGap(l2Caps []int64) []GapPoint {
+	out := make([]GapPoint, 0, len(l2Caps))
+	for _, c := range l2Caps {
+		gp := GapPoint{L2CapacityBytes: c}
+		free, ok1 := r.L2.AccessesAt(c)
+		joint, _, ok2 := r.MinL2GivenOptimalDRAM(c)
+		if ok1 && ok2 && free > 0 {
+			gp.FreeL2 = free
+			gp.JointL2 = joint
+			gp.Ratio = float64(joint) / float64(free)
+			gp.Feasible = true
+		}
+		out = append(out, gp)
+	}
+	return out
+}

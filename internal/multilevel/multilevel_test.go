@@ -1,0 +1,119 @@
+package multilevel
+
+import (
+	"testing"
+
+	"repro/internal/bound"
+	"repro/internal/einsum"
+)
+
+func TestDeriveSmallGEMM(t *testing.T) {
+	g := einsum.GEMM("g", 32, 32, 32)
+	r, err := Derive(g, 1<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DRAM.Empty() || r.L2.Empty() {
+		t.Fatal("empty curves")
+	}
+	if r.Mappings == 0 {
+		t.Fatal("no mappings evaluated")
+	}
+	// DRAM floor is still the algorithmic minimum (full L2 buffering with
+	// a small L1 streaming tile is in the space).
+	if r.DRAM.MinAccessBytes() != g.AlgorithmicMinBytes() {
+		t.Fatalf("DRAM floor %d != algo min %d",
+			r.DRAM.MinAccessBytes(), g.AlgorithmicMinBytes())
+	}
+}
+
+func TestThreeLevelNeverBelowTwoLevel(t *testing.T) {
+	g := einsum.GEMM("g", 32, 32, 32)
+	two := bound.Derive(g, bound.Options{Workers: 1}).Curve
+	r, err := Derive(g, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range r.DRAM.Points() {
+		bnd, ok := two.AccessesAt(p.BufferBytes)
+		if !ok || p.AccessBytes < bnd {
+			t.Fatalf("three-level point %+v below the two-level bound (%d,%v)", p, bnd, ok)
+		}
+	}
+}
+
+func TestHugeL1RecoversTwoLevelCurve(t *testing.T) {
+	// With an unconstrained L1, the three-level DRAM curve matches the
+	// two-level bound at every two-level breakpoint.
+	g := einsum.GEMM("g", 16, 16, 16)
+	two := bound.Derive(g, bound.Options{Workers: 1}).Curve
+	r, err := Derive(g, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range two.Points() {
+		acc, ok := r.DRAM.AccessesAt(p.BufferBytes)
+		if !ok || acc != p.AccessBytes {
+			t.Fatalf("unconstrained L1 should recover the two-level curve at %d: (%d,%v) vs %d",
+				p.BufferBytes, acc, ok, p.AccessBytes)
+		}
+	}
+}
+
+func TestCompositionGapExists(t *testing.T) {
+	// The loop order that minimizes DRAM traffic is generally not the one
+	// that minimizes L2 traffic: at some capacity no mapping attains both
+	// per-level optima simultaneously — the reason Fig. 7's composed
+	// probe is "valid but not guaranteed tight".
+	g := einsum.GEMM("g", 64, 64, 64)
+	r, err := Derive(g, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gaps := r.CompositionGap([]int64{512, 1 << 10, 1 << 12, 1 << 14, 1 << 16})
+	sawGap := false
+	for _, gp := range gaps {
+		if !gp.Feasible {
+			continue
+		}
+		if gp.Ratio < 1 {
+			t.Fatalf("joint L2 below the unconstrained bound at %d: %+v", gp.L2CapacityBytes, gp)
+		}
+		if gp.Ratio > 1 {
+			sawGap = true
+		}
+	}
+	if !sawGap {
+		t.Fatal("expected a composition gap at some capacity")
+	}
+}
+
+func TestL2TrafficAtLeastDRAM(t *testing.T) {
+	g := einsum.GEMM("g", 32, 32, 32)
+	r, err := Derive(g, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At every shared breakpoint, L2->L1 traffic >= DRAM traffic (data
+	// reaches L1 through L2).
+	for _, p := range r.DRAM.Points() {
+		l2, ok := r.L2.AccessesAt(p.BufferBytes)
+		if !ok {
+			continue
+		}
+		if l2 < p.AccessBytes {
+			t.Fatalf("L2 traffic %d below DRAM traffic %d at %d", l2, p.AccessBytes, p.BufferBytes)
+		}
+	}
+}
+
+func TestDeriveRejectsBadInput(t *testing.T) {
+	g := einsum.GEMM("g", 8, 8, 8)
+	if _, err := Derive(g, 0); err == nil {
+		t.Fatal("zero L1 capacity accepted")
+	}
+	bad := &einsum.Einsum{Name: "bad", ElementSize: 2}
+	if _, err := Derive(bad, 1024); err == nil {
+		t.Fatal("invalid einsum accepted")
+	}
+}

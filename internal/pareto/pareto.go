@@ -1,0 +1,340 @@
+// Package pareto provides the ski-slope curve at the heart of Orojenesis:
+// the Pareto frontier of (buffer size requirement, backing-store accesses)
+// over all mappings of a workload. It supports the queries the paper builds
+// its analyses on — accesses attainable at a capacity (Gap 0), the maximal
+// effectual buffer size (Gap 1) — and the curve algebra needed for chains:
+// summation (unfused execution), pointwise minimum (best segmentation),
+// access scaling (batched instances) and buffer shifting (untiled fusion).
+package pareto
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/shape"
+)
+
+// Point is one Pareto-optimal (buffer, accesses) pair, both in bytes.
+type Point struct {
+	BufferBytes int64
+	AccessBytes int64
+}
+
+// Curve is a Pareto frontier: points sorted by ascending buffer size with
+// strictly decreasing access counts. The curve is a staircase bound:
+// with capacity c, the attainable minimum is the accesses of the largest
+// point whose buffer requirement does not exceed c.
+type Curve struct {
+	pts []Point
+
+	// AlgoMinBytes and TotalOperandBytes annotate the workload the curve
+	// was derived for; they normalize the Gap 0 and Gap 1 queries.
+	AlgoMinBytes      int64
+	TotalOperandBytes int64
+}
+
+// Points returns the frontier points in ascending buffer order. The
+// returned slice must not be modified.
+func (c *Curve) Points() []Point { return c.pts }
+
+// Len returns the number of frontier points.
+func (c *Curve) Len() int { return len(c.pts) }
+
+// Empty reports whether the curve has no points.
+func (c *Curve) Empty() bool { return len(c.pts) == 0 }
+
+// AccessesAt returns the minimal attainable backing-store accesses with a
+// buffer capacity of at most buf bytes. ok is false if no mapping fits.
+func (c *Curve) AccessesAt(buf int64) (accesses int64, ok bool) {
+	// Largest point with BufferBytes <= buf.
+	i := sort.Search(len(c.pts), func(i int) bool { return c.pts[i].BufferBytes > buf })
+	if i == 0 {
+		return 0, false
+	}
+	return c.pts[i-1].AccessBytes, true
+}
+
+// MinAccessBytes returns the global minimum accesses on the curve (the
+// bottom of the ski slope).
+func (c *Curve) MinAccessBytes() int64 {
+	if len(c.pts) == 0 {
+		return 0
+	}
+	return c.pts[len(c.pts)-1].AccessBytes
+}
+
+// MinBufferBytes returns the smallest buffer requirement of any mapping.
+func (c *Curve) MinBufferBytes() int64 {
+	if len(c.pts) == 0 {
+		return 0
+	}
+	return c.pts[0].BufferBytes
+}
+
+// MaxEffectualBufferBytes returns the smallest buffer size that attains the
+// curve's minimum accesses — the "ridge point" of the OI mesa. Capacity
+// beyond this value cannot reduce data movement.
+func (c *Curve) MaxEffectualBufferBytes() int64 {
+	if len(c.pts) == 0 {
+		return 0
+	}
+	return c.pts[len(c.pts)-1].BufferBytes
+}
+
+// BufferFor returns the smallest buffer capacity whose attainable accesses
+// are at most target. ok is false if the curve never reaches target.
+func (c *Curve) BufferFor(target int64) (buf int64, ok bool) {
+	// Points are sorted by buffer asc / accesses desc; find the first
+	// point with accesses <= target.
+	i := sort.Search(len(c.pts), func(i int) bool { return c.pts[i].AccessBytes <= target })
+	if i == len(c.pts) {
+		return 0, false
+	}
+	return c.pts[i].BufferBytes, true
+}
+
+// Gap0 returns the ratio of attainable accesses at capacity buf to the
+// algorithmic minimum (Fig. 1's Gap 0). ok is false when no mapping fits
+// in buf or the curve lacks an algorithmic-minimum annotation.
+func (c *Curve) Gap0(buf int64) (float64, bool) {
+	if c.AlgoMinBytes <= 0 {
+		return 0, false
+	}
+	acc, ok := c.AccessesAt(buf)
+	if !ok {
+		return 0, false
+	}
+	return float64(acc) / float64(c.AlgoMinBytes), true
+}
+
+// Gap1 returns the maximal effectual buffer size normalized to the total
+// operand size (Fig. 1's Gap 1, plotted in Figs. 3 and 11).
+func (c *Curve) Gap1() (float64, bool) {
+	if c.TotalOperandBytes <= 0 || len(c.pts) == 0 {
+		return 0, false
+	}
+	return float64(c.MaxEffectualBufferBytes()) / float64(c.TotalOperandBytes), true
+}
+
+// String renders a short summary.
+func (c *Curve) String() string {
+	if len(c.pts) == 0 {
+		return "pareto.Curve{empty}"
+	}
+	return fmt.Sprintf("pareto.Curve{%d pts, buf %s..%s, acc %s..%s}",
+		len(c.pts),
+		shape.FormatBytes(c.pts[0].BufferBytes),
+		shape.FormatBytes(c.pts[len(c.pts)-1].BufferBytes),
+		shape.FormatBytes(c.pts[0].AccessBytes),
+		shape.FormatBytes(c.pts[len(c.pts)-1].AccessBytes))
+}
+
+// Table renders the frontier as aligned text rows (buffer, accesses),
+// useful for quick inspection in examples and benchmarks.
+func (c *Curve) Table() string {
+	var b strings.Builder
+	for _, p := range c.pts {
+		fmt.Fprintf(&b, "%12d  %14d    %10s  %12s\n",
+			p.BufferBytes, p.AccessBytes,
+			shape.FormatBytes(p.BufferBytes), shape.FormatBytes(p.AccessBytes))
+	}
+	return b.String()
+}
+
+// FromPoints builds a curve from arbitrary points, keeping only the Pareto
+// frontier.
+func FromPoints(pts []Point) *Curve {
+	b := NewBuilder()
+	for _, p := range pts {
+		b.Add(p.BufferBytes, p.AccessBytes)
+	}
+	return b.Curve()
+}
+
+// Builder accumulates (buffer, accesses) observations from a mapspace
+// traversal and compacts them to the Pareto frontier on the fly, so
+// million-point searches keep constant memory.
+type Builder struct {
+	pts      []Point
+	capLimit int
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{capLimit: 1 << 14}
+}
+
+// Add records one mapping's buffer requirement and access count.
+func (b *Builder) Add(bufBytes, accessBytes int64) {
+	b.pts = append(b.pts, Point{BufferBytes: bufBytes, AccessBytes: accessBytes})
+	if len(b.pts) >= b.capLimit {
+		b.pts = frontier(b.pts)
+		// If the frontier itself is huge, raise the compaction threshold
+		// so we still make forward progress.
+		if len(b.pts)*2 >= b.capLimit {
+			b.capLimit *= 2
+		}
+	}
+}
+
+// AddCurve merges every point of another curve.
+func (b *Builder) AddCurve(c *Curve) {
+	for _, p := range c.pts {
+		b.Add(p.BufferBytes, p.AccessBytes)
+	}
+}
+
+// Curve compacts and returns the accumulated Pareto frontier.
+func (b *Builder) Curve() *Curve {
+	return &Curve{pts: frontier(b.pts)}
+}
+
+// frontier reduces points to the Pareto-optimal staircase: ascending
+// buffer, strictly descending accesses.
+func frontier(pts []Point) []Point {
+	if len(pts) == 0 {
+		return nil
+	}
+	sorted := make([]Point, len(pts))
+	copy(sorted, pts)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].BufferBytes != sorted[j].BufferBytes {
+			return sorted[i].BufferBytes < sorted[j].BufferBytes
+		}
+		return sorted[i].AccessBytes < sorted[j].AccessBytes
+	})
+	out := sorted[:0]
+	for _, p := range sorted {
+		// Drop points dominated by the best-so-far.
+		if n := len(out); n > 0 {
+			if p.AccessBytes >= out[n-1].AccessBytes {
+				continue
+			}
+			if p.BufferBytes == out[n-1].BufferBytes {
+				out[n-1] = p
+				continue
+			}
+		}
+		out = append(out, p)
+	}
+	return append([]Point(nil), out...)
+}
+
+// Sum composes curves for workloads executed back to back sharing one
+// buffer (the paper's unfused baseline): at every capacity, total accesses
+// are the sum of each curve's attainable accesses. Capacities where any
+// component has no feasible mapping are excluded. Annotations are summed.
+func Sum(curves ...*Curve) *Curve {
+	if len(curves) == 0 {
+		return &Curve{}
+	}
+	bufs := breakpoints(curves)
+	var pts []Point
+	for _, buf := range bufs {
+		total := int64(0)
+		feasible := true
+		for _, c := range curves {
+			acc, ok := c.AccessesAt(buf)
+			if !ok {
+				feasible = false
+				break
+			}
+			total += acc
+		}
+		if feasible {
+			pts = append(pts, Point{BufferBytes: buf, AccessBytes: total})
+		}
+	}
+	out := FromPoints(pts)
+	for _, c := range curves {
+		out.AlgoMinBytes += c.AlgoMinBytes
+		out.TotalOperandBytes += c.TotalOperandBytes
+	}
+	return out
+}
+
+// MergeMin composes alternatives (e.g. different segmentation strategies):
+// at every capacity the best alternative is chosen. Annotations are taken
+// from the first curve.
+func MergeMin(curves ...*Curve) *Curve {
+	if len(curves) == 0 {
+		return &Curve{}
+	}
+	bufs := breakpoints(curves)
+	var pts []Point
+	for _, buf := range bufs {
+		best := int64(-1)
+		for _, c := range curves {
+			if acc, ok := c.AccessesAt(buf); ok && (best < 0 || acc < best) {
+				best = acc
+			}
+		}
+		if best >= 0 {
+			pts = append(pts, Point{BufferBytes: buf, AccessBytes: best})
+		}
+	}
+	out := FromPoints(pts)
+	out.AlgoMinBytes = curves[0].AlgoMinBytes
+	out.TotalOperandBytes = curves[0].TotalOperandBytes
+	return out
+}
+
+// ScaleAccesses returns a copy of c with every access count multiplied by
+// k — the curve for k identical instances executed sequentially through
+// the same buffer.
+func (c *Curve) ScaleAccesses(k int64) *Curve {
+	out := &Curve{
+		pts:               make([]Point, len(c.pts)),
+		AlgoMinBytes:      c.AlgoMinBytes * k,
+		TotalOperandBytes: c.TotalOperandBytes * k,
+	}
+	for i, p := range c.pts {
+		out.pts[i] = Point{BufferBytes: p.BufferBytes, AccessBytes: p.AccessBytes * k}
+	}
+	return out
+}
+
+// ShiftBuffer returns a copy of c with delta bytes added to every buffer
+// requirement — e.g. untiled fusion, which additionally pins the whole
+// intermediate tensor in the buffer.
+func (c *Curve) ShiftBuffer(delta int64) *Curve {
+	out := &Curve{
+		pts:               make([]Point, len(c.pts)),
+		AlgoMinBytes:      c.AlgoMinBytes,
+		TotalOperandBytes: c.TotalOperandBytes,
+	}
+	for i, p := range c.pts {
+		out.pts[i] = Point{BufferBytes: p.BufferBytes + delta, AccessBytes: p.AccessBytes}
+	}
+	return out
+}
+
+// AddAccesses returns a copy of c with a constant added to every access
+// count (e.g. traffic of unfused layers appended to a fused chain's curve).
+func (c *Curve) AddAccesses(delta int64) *Curve {
+	out := &Curve{
+		pts:               make([]Point, len(c.pts)),
+		AlgoMinBytes:      c.AlgoMinBytes,
+		TotalOperandBytes: c.TotalOperandBytes,
+	}
+	for i, p := range c.pts {
+		out.pts[i] = Point{BufferBytes: p.BufferBytes, AccessBytes: p.AccessBytes + delta}
+	}
+	return out
+}
+
+func breakpoints(curves []*Curve) []int64 {
+	set := map[int64]bool{}
+	for _, c := range curves {
+		for _, p := range c.pts {
+			set[p.BufferBytes] = true
+		}
+	}
+	out := make([]int64, 0, len(set))
+	for b := range set {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

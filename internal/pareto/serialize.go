@@ -1,0 +1,95 @@
+package pareto
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Serialization: a derived curve is portable across every architecture
+// running the same algorithm (Sec. III-B), so saving it once and loading
+// it into later DSE sessions is a first-class workflow.
+
+type curveJSON struct {
+	AlgoMinBytes      int64   `json:"algo_min_bytes,omitempty"`
+	TotalOperandBytes int64   `json:"total_operand_bytes,omitempty"`
+	Points            []Point `json:"points"`
+}
+
+// MarshalJSON encodes the curve with its annotations.
+func (c *Curve) MarshalJSON() ([]byte, error) {
+	return json.Marshal(curveJSON{
+		AlgoMinBytes:      c.AlgoMinBytes,
+		TotalOperandBytes: c.TotalOperandBytes,
+		Points:            c.pts,
+	})
+}
+
+// UnmarshalJSON decodes a curve, re-deriving the Pareto frontier so that
+// hand-edited files cannot violate the invariants.
+func (c *Curve) UnmarshalJSON(data []byte) error {
+	var cj curveJSON
+	if err := json.Unmarshal(data, &cj); err != nil {
+		return err
+	}
+	for _, p := range cj.Points {
+		if p.BufferBytes < 1 || p.AccessBytes < 1 {
+			return fmt.Errorf("pareto: non-positive point %+v", p)
+		}
+	}
+	c.pts = frontier(cj.Points)
+	c.AlgoMinBytes = cj.AlgoMinBytes
+	c.TotalOperandBytes = cj.TotalOperandBytes
+	return nil
+}
+
+// WriteTo emits the curve as two-column CSV (buffer_bytes,access_bytes)
+// with a header, satisfying io.WriterTo.
+func (c *Curve) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	n, err := fmt.Fprintln(w, "buffer_bytes,access_bytes")
+	total += int64(n)
+	if err != nil {
+		return total, err
+	}
+	for _, p := range c.pts {
+		n, err := fmt.Fprintf(w, "%d,%d\n", p.BufferBytes, p.AccessBytes)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// ReadCSV parses a two-column CSV (with or without the header) into a
+// curve, re-deriving the frontier.
+func ReadCSV(r io.Reader) (*Curve, error) {
+	var pts []Point
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "buffer_bytes") || strings.HasPrefix(text, "#") {
+			continue
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("pareto: line %d: want 2 columns, got %q", line, text)
+		}
+		buf, err1 := strconv.ParseInt(strings.TrimSpace(parts[0]), 10, 64)
+		acc, err2 := strconv.ParseInt(strings.TrimSpace(parts[1]), 10, 64)
+		if err1 != nil || err2 != nil || buf < 1 || acc < 1 {
+			return nil, fmt.Errorf("pareto: line %d: bad point %q", line, text)
+		}
+		pts = append(pts, Point{BufferBytes: buf, AccessBytes: acc})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return FromPoints(pts), nil
+}

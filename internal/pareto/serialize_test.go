@@ -1,0 +1,105 @@
+package pareto
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	c := FromPoints([]Point{
+		{BufferBytes: 100, AccessBytes: 1000},
+		{BufferBytes: 400, AccessBytes: 100},
+	})
+	c.AlgoMinBytes = 50
+	c.TotalOperandBytes = 800
+
+	data, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Curve
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.AlgoMinBytes != 50 || back.TotalOperandBytes != 800 {
+		t.Fatalf("annotations lost: %+v", back)
+	}
+	if back.Len() != c.Len() {
+		t.Fatalf("point count changed: %d vs %d", back.Len(), c.Len())
+	}
+	for i, p := range back.Points() {
+		if p != c.Points()[i] {
+			t.Fatalf("point %d differs", i)
+		}
+	}
+}
+
+func TestUnmarshalRederivesFrontier(t *testing.T) {
+	// A hand-edited file with dominated points must come back clean.
+	raw := `{"points":[
+		{"BufferBytes":100,"AccessBytes":1000},
+		{"BufferBytes":200,"AccessBytes":2000},
+		{"BufferBytes":400,"AccessBytes":100}]}`
+	var c Curve
+	if err := json.Unmarshal([]byte(raw), &c); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("dominated point survived: %v", c.Points())
+	}
+}
+
+func TestUnmarshalRejectsBadPoints(t *testing.T) {
+	raw := `{"points":[{"BufferBytes":0,"AccessBytes":10}]}`
+	var c Curve
+	if err := json.Unmarshal([]byte(raw), &c); err == nil {
+		t.Fatal("zero buffer accepted")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	c := FromPoints([]Point{
+		{BufferBytes: 128, AccessBytes: 4096},
+		{BufferBytes: 512, AccessBytes: 1024},
+	})
+	var b strings.Builder
+	if _, err := c.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 {
+		t.Fatalf("round trip lost points: %v", back.Points())
+	}
+	if got, _ := back.AccessesAt(128); got != 4096 {
+		t.Fatalf("round trip altered data: %d", got)
+	}
+}
+
+func TestReadCSVToleratesCommentsAndBlank(t *testing.T) {
+	in := "# a comment\nbuffer_bytes,access_bytes\n\n10,100\n20,50\n"
+	c, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("parsed %d points", c.Len())
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"10\n",
+		"a,b\n",
+		"10,0\n",
+		"-5,10\n",
+	}
+	for _, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Fatalf("accepted %q", in)
+		}
+	}
+}

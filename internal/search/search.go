@@ -1,0 +1,161 @@
+// Package search implements the mapper alternatives the paper contrasts
+// against exhaustive traversal (Sec. III-B "Bound Derivation"): random
+// sampling and hill-climbing over the Snowcat mapspace. Neither is
+// guaranteed to converge to the Pareto frontier, and the Compare helper
+// quantifies by how much they miss it — the empirical argument for why
+// Orojenesis relies on exhaustive search.
+package search
+
+import (
+	"math/rand"
+
+	"repro/internal/einsum"
+	"repro/internal/mapping"
+	"repro/internal/pareto"
+	"repro/internal/shape"
+	"repro/internal/snowcat"
+)
+
+// randomMapping draws a uniform mapping from the perfect-factor space.
+func randomMapping(e *einsum.Einsum, rng *rand.Rand) *mapping.Mapping {
+	m := &mapping.Mapping{Splits: map[string]shape.Split{}}
+	names := make([]string, len(e.Ranks))
+	for i, r := range e.Ranks {
+		names[i] = r.Name
+		sp := shape.Splits(r.Shape)
+		m.Splits[r.Name] = sp[rng.Intn(len(sp))]
+	}
+	rng.Shuffle(len(names), func(i, j int) { names[i], names[j] = names[j], names[i] })
+	m.OuterOrder = names
+	return m
+}
+
+// RandomCurve evaluates samples random mappings and returns their Pareto
+// frontier. Being a subset of the full space, the result always sits on
+// or above the exhaustive bound.
+func RandomCurve(e *einsum.Einsum, samples int, seed int64) *pareto.Curve {
+	rng := rand.New(rand.NewSource(seed))
+	ev := snowcat.NewEvaluator(e)
+	b := pareto.NewBuilder()
+	for i := 0; i < samples; i++ {
+		buf, acc := ev.EvaluateCompact(randomMapping(e, rng))
+		b.Add(buf, acc)
+	}
+	c := b.Curve()
+	c.AlgoMinBytes = e.AlgorithmicMinBytes()
+	c.TotalOperandBytes = e.TotalOperandBytes()
+	return c
+}
+
+// mutate perturbs one aspect of a mapping: a rank's split moves to a
+// neighboring divisor, or two outer loops swap.
+func mutate(e *einsum.Einsum, m *mapping.Mapping, rng *rand.Rand) *mapping.Mapping {
+	out := m.Clone()
+	if rng.Intn(3) == 0 && len(out.OuterOrder) > 1 {
+		i := rng.Intn(len(out.OuterOrder) - 1)
+		out.OuterOrder[i], out.OuterOrder[i+1] = out.OuterOrder[i+1], out.OuterOrder[i]
+		return out
+	}
+	r := e.Ranks[rng.Intn(len(e.Ranks))]
+	sp := shape.Splits(r.Shape)
+	cur := out.Splits[r.Name]
+	idx := 0
+	for i, s := range sp {
+		if s == cur {
+			idx = i
+			break
+		}
+	}
+	if rng.Intn(2) == 0 && idx > 0 {
+		idx--
+	} else if idx < len(sp)-1 {
+		idx++
+	}
+	out.Splits[r.Name] = sp[idx]
+	return out
+}
+
+// HillClimbCurve runs greedy local search: for each of a sweep of buffer
+// budgets it minimizes accesses subject to the budget, restarting from
+// random mappings. evalBudget caps the total number of evaluations.
+func HillClimbCurve(e *einsum.Einsum, budgets []int64, evalBudget int, seed int64) *pareto.Curve {
+	rng := rand.New(rand.NewSource(seed))
+	ev := snowcat.NewEvaluator(e)
+	b := pareto.NewBuilder()
+	evals := 0
+	perBudget := evalBudget / shape.MaxInt(1, len(budgets))
+	for _, budget := range budgets {
+		var best *mapping.Mapping
+		var bestAcc int64 = -1
+		for evalsThis := 0; evalsThis < perBudget && evals < evalBudget; {
+			cur := randomMapping(e, rng)
+			buf, acc := ev.EvaluateCompact(cur)
+			evals++
+			evalsThis++
+			if buf > budget {
+				continue
+			}
+			// Greedy descent.
+			for stall := 0; stall < 12 && evalsThis < perBudget && evals < evalBudget; {
+				cand := mutate(e, cur, rng)
+				cbuf, cacc := ev.EvaluateCompact(cand)
+				evals++
+				evalsThis++
+				if cbuf <= budget && cacc < acc {
+					cur, acc = cand, cacc
+					stall = 0
+				} else {
+					stall++
+				}
+			}
+			if bestAcc < 0 || acc < bestAcc {
+				best, bestAcc = cur, acc
+			}
+		}
+		if best != nil {
+			buf, acc := ev.EvaluateCompact(best)
+			b.Add(buf, acc)
+			_ = acc
+		}
+	}
+	c := b.Curve()
+	c.AlgoMinBytes = e.AlgorithmicMinBytes()
+	c.TotalOperandBytes = e.TotalOperandBytes()
+	return c
+}
+
+// Looseness compares a heuristic curve against the exhaustive bound at
+// the bound's breakpoints: the maximum and mean ratio of heuristic to
+// optimal accesses (1.0 = matched the frontier everywhere it was
+// feasible), plus the fraction of probes the heuristic could not serve.
+type Looseness struct {
+	Max, Mean  float64
+	Infeasible float64
+}
+
+// Compare quantifies how far a heuristic curve sits above the bound.
+func Compare(exhaustive, heuristic *pareto.Curve) Looseness {
+	var l Looseness
+	var n, miss int
+	var sum float64
+	for _, p := range exhaustive.Points() {
+		acc, ok := heuristic.AccessesAt(p.BufferBytes)
+		if !ok {
+			miss++
+			continue
+		}
+		ratio := float64(acc) / float64(p.AccessBytes)
+		if ratio > l.Max {
+			l.Max = ratio
+		}
+		sum += ratio
+		n++
+	}
+	if n > 0 {
+		l.Mean = sum / float64(n)
+	}
+	if total := n + miss; total > 0 {
+		l.Infeasible = float64(miss) / float64(total)
+	}
+	return l
+}

@@ -1,0 +1,80 @@
+package search
+
+import (
+	"testing"
+
+	"repro/internal/bound"
+	"repro/internal/einsum"
+)
+
+func TestRandomCurveValidAndLoose(t *testing.T) {
+	g := einsum.GEMM("g", 128, 128, 128)
+	exhaustive := bound.Derive(g, bound.Options{Workers: 1}).Curve
+
+	// A tiny sample is valid (never below the bound) but loose.
+	small := RandomCurve(g, 20, 1)
+	for _, p := range small.Points() {
+		bnd, ok := exhaustive.AccessesAt(p.BufferBytes)
+		if !ok || p.AccessBytes < bnd {
+			t.Fatalf("random point %+v below the bound (%d,%v)", p, bnd, ok)
+		}
+	}
+	l := Compare(exhaustive, small)
+	if l.Max < 1 {
+		t.Fatalf("looseness below 1: %+v", l)
+	}
+	if l.Max == 1 && l.Infeasible == 0 {
+		t.Fatalf("20 random samples should not match the frontier everywhere: %+v", l)
+	}
+}
+
+func TestMoreSamplesTighter(t *testing.T) {
+	g := einsum.GEMM("g", 128, 128, 128)
+	exhaustive := bound.Derive(g, bound.Options{Workers: 1}).Curve
+	small := Compare(exhaustive, RandomCurve(g, 30, 7))
+	large := Compare(exhaustive, RandomCurve(g, 3000, 7))
+	// With two orders of magnitude more samples the frontier coverage
+	// must improve on both axes.
+	if large.Mean > small.Mean && large.Infeasible > small.Infeasible {
+		t.Fatalf("more samples got looser: %+v vs %+v", large, small)
+	}
+}
+
+func TestHillClimbValidAndCompetitive(t *testing.T) {
+	g := einsum.GEMM("g", 128, 128, 128)
+	exhaustive := bound.Derive(g, bound.Options{Workers: 1}).Curve
+	budgets := []int64{1 << 10, 1 << 13, 1 << 16}
+	hc := HillClimbCurve(g, budgets, 2000, 11)
+	if hc.Empty() {
+		t.Fatal("hill climb found nothing")
+	}
+	for _, p := range hc.Points() {
+		bnd, ok := exhaustive.AccessesAt(p.BufferBytes)
+		if !ok || p.AccessBytes < bnd {
+			t.Fatalf("hill-climb point %+v below the bound", p)
+		}
+	}
+	// Same evaluation budget: hill climbing should be no worse on
+	// average than blind random sampling at the probe budgets.
+	rc := RandomCurve(g, 2000, 11)
+	var hcWorse int
+	for _, budget := range budgets {
+		h, ok1 := hc.AccessesAt(budget)
+		r, ok2 := rc.AccessesAt(budget)
+		if ok1 && ok2 && h > r {
+			hcWorse++
+		}
+	}
+	if hcWorse == len(budgets) {
+		t.Fatal("hill climbing lost to random sampling at every budget")
+	}
+}
+
+func TestCompareCounting(t *testing.T) {
+	g := einsum.GEMM("g", 32, 32, 32)
+	exhaustive := bound.Derive(g, bound.Options{Workers: 1}).Curve
+	self := Compare(exhaustive, exhaustive)
+	if self.Max != 1 || self.Mean != 1 || self.Infeasible != 0 {
+		t.Fatalf("self-comparison = %+v, want exact match", self)
+	}
+}

@@ -1,0 +1,136 @@
+package simba
+
+import (
+	"time"
+
+	"repro/internal/pareto"
+	"repro/internal/shape"
+)
+
+// dramOrders is the set of DRAM-level loop orders the mapper explores.
+var dramOrders = [][3]string{
+	{"M", "K", "N"}, {"M", "N", "K"},
+	{"K", "M", "N"}, {"K", "N", "M"},
+	{"N", "M", "K"}, {"N", "K", "M"},
+}
+
+// Mapspace enumerates every legal mapping of g on a, with capacity-based
+// pruning: factor choices are explored in ascending order and abandoned as
+// soon as the RF or GB capacity is exceeded (footprints are monotone in
+// every factor). The Mapping value is reused across visits.
+func Mapspace(g GEMM, a Arch, visit func(*Mapping)) {
+	es := a.ElementSize
+	var m Mapping
+
+	spatials := []int64{1}
+	for _, s := range shape.Divisors(g.M) {
+		if s > 1 && s <= a.PEs {
+			spatials = append(spatials, s)
+		}
+	}
+
+	for _, m0 := range shape.Divisors(g.M) {
+		for _, k0 := range shape.Divisors(g.K) {
+			if (m0*k0)*es > a.RFBytes {
+				break // k0 ascending; larger only grows the footprint
+			}
+			for _, n0 := range shape.Divisors(g.N) {
+				if (m0*k0+k0*n0+m0*n0)*es > a.RFBytes {
+					break
+				}
+				for _, sp := range spatials {
+					if g.M%(m0*sp) != 0 {
+						continue
+					}
+					for _, m1 := range shape.Divisors(g.M / (m0 * sp)) {
+						tm := m0 * m1 * sp
+						if (tm*k0)*es > a.GBBytes {
+							break
+						}
+						for _, k1 := range shape.Divisors(g.K / k0) {
+							tk := k0 * k1
+							if (tm*tk)*es > a.GBBytes {
+								break
+							}
+							for _, n1 := range shape.Divisors(g.N / n0) {
+								tn := n0 * n1
+								if (tm*tk+tk*tn+tm*tn)*es > a.GBBytes {
+									break
+								}
+								m = Mapping{
+									M0: m0, K0: k0, N0: n0,
+									M1: m1, K1: k1, N1: n1,
+									Spatial: sp,
+									M2:      g.M / (m0 * m1 * sp),
+									K2:      g.K / (k0 * k1),
+									N2:      g.N / (n0 * n1),
+								}
+								for _, ord := range dramOrders {
+									m.OrderDRAM = ord
+									visit(&m)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// DSEResult reports one architecture configuration's best mapping and the
+// search cost.
+type DSEResult struct {
+	Arch              Arch
+	BestDRAMBytes     int64
+	BestGBBytesUsed   int64
+	MappingsEvaluated int64
+	Elapsed           time.Duration
+}
+
+// SearchBest exhaustively maps g onto a and returns the mapping with the
+// fewest DRAM accesses.
+func SearchBest(g GEMM, a Arch) DSEResult {
+	start := time.Now()
+	res := DSEResult{Arch: a, BestDRAMBytes: -1}
+	Mapspace(g, a, func(m *Mapping) {
+		r := Evaluate(g, a, m)
+		res.MappingsEvaluated++
+		if res.BestDRAMBytes < 0 || r.DRAMAccessBytes < res.BestDRAMBytes {
+			res.BestDRAMBytes = r.DRAMAccessBytes
+			res.BestGBBytesUsed = r.GBBytesUsed
+		}
+	})
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// Samples collects every evaluated (GB footprint, DRAM accesses) point of
+// a configuration — the scatter of Fig. 24b. Capped at limit points
+// (0 = unlimited) sampled deterministically by stride.
+func Samples(g GEMM, a Arch, limit int) []pareto.Point {
+	var all []pareto.Point
+	Mapspace(g, a, func(m *Mapping) {
+		r := Evaluate(g, a, m)
+		all = append(all, pareto.Point{BufferBytes: r.GBBytesUsed, AccessBytes: r.DRAMAccessBytes})
+	})
+	if limit <= 0 || len(all) <= limit {
+		return all
+	}
+	stride := len(all) / limit
+	out := make([]pareto.Point, 0, limit)
+	for i := 0; i < len(all) && len(out) < limit; i += stride {
+		out = append(out, all[i])
+	}
+	return out
+}
+
+// DSE runs SearchBest across many Global-Buffer capacities, reproducing
+// the 100-design sweep of Table I.
+func DSE(g GEMM, gbSizes []int64) []DSEResult {
+	out := make([]DSEResult, 0, len(gbSizes))
+	for _, gb := range gbSizes {
+		out = append(out, SearchBest(g, Default(gb)))
+	}
+	return out
+}

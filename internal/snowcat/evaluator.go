@@ -1,0 +1,149 @@
+package snowcat
+
+import (
+	"repro/internal/einsum"
+	"repro/internal/mapping"
+	"repro/internal/shape"
+)
+
+// Evaluator is a compiled form of an Einsum's Snowcat model. It avoids the
+// per-call map allocations of Evaluate, which matters inside exhaustive
+// mapspace traversals that evaluate hundreds of thousands of mappings.
+type Evaluator struct {
+	e         *einsum.Einsum
+	rankShape map[string]int64
+	tensors   []compiledTensor
+}
+
+type compiledTensor struct {
+	output   bool
+	sizeElem int64
+	dims     []compiledDim
+	// relevant[rank] and groupDiv[rank] are keyed by rank name; rank
+	// count is tiny so map lookups are cheap and allocation-free.
+	relevant map[string]bool
+	groupDiv map[string]int64
+}
+
+type compiledDim struct {
+	terms      []einsum.Term
+	groupDiv   int64
+	fullExtent int64
+}
+
+// NewEvaluator compiles e. The Einsum must be valid.
+func NewEvaluator(e *einsum.Einsum) *Evaluator {
+	full := make(map[string]int64, len(e.Ranks))
+	for _, r := range e.Ranks {
+		full[r.Name] = r.Shape
+	}
+	ev := &Evaluator{e: e, rankShape: full}
+	for i := range e.Tensors {
+		t := &e.Tensors[i]
+		ct := compiledTensor{
+			output:   t.Output,
+			sizeElem: e.TensorSize(t),
+			relevant: map[string]bool{},
+			groupDiv: map[string]int64{},
+		}
+		for _, r := range e.Ranks {
+			ct.relevant[r.Name] = t.Relevant(r.Name)
+			ct.groupDiv[r.Name] = t.GroupDivFor(r.Name)
+		}
+		for j := range t.Dims {
+			d := &t.Dims[j]
+			ct.dims = append(ct.dims, compiledDim{
+				terms:      d.Terms,
+				groupDiv:   d.GroupDiv,
+				fullExtent: d.DimExtent(full),
+			})
+		}
+		ev.tensors = append(ev.tensors, ct)
+	}
+	return ev
+}
+
+// EvaluateCompact returns only the buffer requirement and access count in
+// bytes — the two numbers the Orojenesis frontier needs.
+func (ev *Evaluator) EvaluateCompact(m *mapping.Mapping) (bufBytes, accessBytes int64) {
+	es := ev.e.ElementSize
+	for i := range ev.tensors {
+		t := &ev.tensors[i]
+		fp := ev.footprint(t, m)
+		bufBytes += fp
+		accessBytes += fp * ev.iterations(t, m)
+	}
+	return bufBytes * es, accessBytes * es
+}
+
+// EvaluateCompactSpillCharged is EvaluateCompact with physical partial-sum
+// accounting: every output transfer beyond the first write of a region is
+// a spill that must also be read back, so output traffic beyond the
+// tensor size is doubled. The paper's model counts each transfer once;
+// this variant supports the spill-accounting ablation.
+func (ev *Evaluator) EvaluateCompactSpillCharged(m *mapping.Mapping) (bufBytes, accessBytes int64) {
+	es := ev.e.ElementSize
+	for i := range ev.tensors {
+		t := &ev.tensors[i]
+		fp := ev.footprint(t, m)
+		bufBytes += fp
+		elems := fp * ev.iterations(t, m)
+		accessBytes += elems
+		if t.output && elems > t.sizeElem {
+			accessBytes += elems - t.sizeElem // reload of spilled partials
+		}
+	}
+	return bufBytes * es, accessBytes * es
+}
+
+func (ev *Evaluator) footprint(t *compiledTensor, m *mapping.Mapping) int64 {
+	fp := int64(1)
+	for i := range t.dims {
+		d := &t.dims[i]
+		var ext int64
+		if d.groupDiv > 1 {
+			ext = shape.CeilDiv(m.Splits[d.terms[0].Rank].Inner, d.groupDiv)
+		} else {
+			ext = 1
+			for _, term := range d.terms {
+				ext += term.Coeff * (m.Splits[term.Rank].Inner - 1)
+			}
+		}
+		if ext > d.fullExtent {
+			ext = d.fullExtent
+		}
+		fp *= ext
+	}
+	return fp
+}
+
+func (ev *Evaluator) iterations(t *compiledTensor, m *mapping.Mapping) int64 {
+	order := m.OuterOrder
+	inner := -1
+	for i := len(order) - 1; i >= 0; i-- {
+		r := order[i]
+		if m.Splits[r].Outer > 1 && t.relevant[r] {
+			inner = i
+			break
+		}
+	}
+	if inner < 0 {
+		return 1
+	}
+	iters := int64(1)
+	for i := 0; i <= inner; i++ {
+		r := order[i]
+		s := m.Splits[r]
+		if s.Outer == 1 {
+			continue
+		}
+		factor := s.Outer
+		if i == inner {
+			if gd := t.groupDiv[r]; gd > 1 {
+				factor = shape.Max(1, shape.CeilDiv(s.Outer*s.Inner, shape.Max(s.Inner, gd)))
+			}
+		}
+		iters *= factor
+	}
+	return iters
+}

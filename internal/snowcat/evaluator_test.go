@@ -1,0 +1,65 @@
+package snowcat
+
+import (
+	"testing"
+
+	"repro/internal/einsum"
+	"repro/internal/mapping"
+)
+
+// TestEvaluatorMatchesEvaluate cross-checks the compiled fast path against
+// the reference model over entire mapspaces, including strided convolution
+// and grouped-BMM projections.
+func TestEvaluatorMatchesEvaluate(t *testing.T) {
+	workloads := []*einsum.Einsum{
+		einsum.GEMM("gemm", 16, 8, 4),
+		einsum.BMM("bmm", 4, 8, 4, 8),
+		einsum.GroupedBMM("gbmm", 8, 2, 4, 4, 4),
+		einsum.Conv2D("conv", einsum.ConvConfig{P: 4, Q: 4, N: 4, C: 4, R: 3, S: 3, T: 2, D: 2}),
+	}
+	for _, e := range workloads {
+		ev := NewEvaluator(e)
+		checked := 0
+		mapping.Space(e, func(m *mapping.Mapping) {
+			ref := Evaluate(e, m)
+			buf, acc := ev.EvaluateCompact(m)
+			if buf != ref.BufferBytes || acc != ref.AccessBytes {
+				t.Fatalf("%s mapping %s: evaluator (%d,%d) != reference (%d,%d)",
+					e.Name, m, buf, acc, ref.BufferBytes, ref.AccessBytes)
+			}
+			checked++
+		})
+		if checked == 0 {
+			t.Fatalf("%s: empty mapspace", e.Name)
+		}
+	}
+}
+
+func BenchmarkEvaluateReference(b *testing.B) {
+	e := einsum.GEMM("gemm", 4096, 4096, 4096)
+	var m *mapping.Mapping
+	mapping.Space(e, func(mm *mapping.Mapping) {
+		if m == nil {
+			m = mm.Clone()
+		}
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Evaluate(e, m)
+	}
+}
+
+func BenchmarkEvaluatorCompact(b *testing.B) {
+	e := einsum.GEMM("gemm", 4096, 4096, 4096)
+	ev := NewEvaluator(e)
+	var m *mapping.Mapping
+	mapping.Space(e, func(mm *mapping.Mapping) {
+		if m == nil {
+			m = mm.Clone()
+		}
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.EvaluateCompact(m)
+	}
+}

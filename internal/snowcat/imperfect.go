@@ -1,0 +1,74 @@
+package snowcat
+
+import (
+	"math"
+
+	"repro/internal/mapping"
+)
+
+// EvaluateImperfectCompact evaluates a mapping whose splits may use
+// imperfect factors (Inner*Outer >= shape, partial boundary tiles).
+//
+// The buffer requirement charges the full inner tile (the buffer must be
+// sized for the largest resident tile). Access counts use the *effective*
+// average tile extent shape/outer per rank, so the sum over all boundary
+// and interior tiles is exact for identity projections and a tight
+// rational approximation for strided/grouped ones. Per-tensor traffic is
+// clamped from below by the tensor's size (every operand is touched at
+// least once), keeping the bound sound.
+func (ev *Evaluator) EvaluateImperfectCompact(m *mapping.Mapping) (bufBytes, accessBytes int64) {
+	es := ev.e.ElementSize
+	for i := range ev.tensors {
+		t := &ev.tensors[i]
+		bufBytes += ev.footprint(t, m)
+		fpEff := ev.effectiveFootprint(t, m)
+		iters := ev.iterations(t, m)
+		elems := int64(math.Ceil(fpEff * float64(iters)))
+		if elems < t.sizeElem {
+			elems = t.sizeElem
+		}
+		accessBytes += elems
+	}
+	return bufBytes * es, accessBytes * es
+}
+
+// effectiveFootprint computes the tensor's average per-transfer footprint
+// using rational tile extents shape/outer.
+func (ev *Evaluator) effectiveFootprint(t *compiledTensor, m *mapping.Mapping) float64 {
+	fp := 1.0
+	for i := range t.dims {
+		d := &t.dims[i]
+		var ext float64
+		if d.groupDiv > 1 {
+			ext = ev.effTile(d.terms[0].Rank, m) / float64(d.groupDiv)
+			if ext < 1 {
+				ext = 1
+			}
+		} else {
+			ext = 1
+			for _, term := range d.terms {
+				ext += float64(term.Coeff) * (ev.effTile(term.Rank, m) - 1)
+			}
+		}
+		if max := float64(d.fullExtent); ext > max {
+			ext = max
+		}
+		fp *= ext
+	}
+	return fp
+}
+
+// effTile returns the average tile extent of a rank under the mapping:
+// the rank's full shape spread over its outer iterations, capped by the
+// inner tile and floored at 1.
+func (ev *Evaluator) effTile(rank string, m *mapping.Mapping) float64 {
+	s := m.Splits[rank]
+	eff := float64(ev.rankShape[rank]) / float64(s.Outer)
+	if eff > float64(s.Inner) {
+		eff = float64(s.Inner)
+	}
+	if eff < 1 {
+		eff = 1
+	}
+	return eff
+}

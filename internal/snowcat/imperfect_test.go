@@ -1,0 +1,70 @@
+package snowcat
+
+import (
+	"testing"
+
+	"repro/internal/einsum"
+	"repro/internal/mapping"
+	"repro/internal/shape"
+)
+
+// TestImperfectMatchesPerfectOnDivisorSplits: when every split is a
+// perfect factorization, the effective tile equals the inner tile and the
+// imperfect evaluator must agree exactly with the standard one.
+func TestImperfectMatchesPerfectOnDivisorSplits(t *testing.T) {
+	workloads := []*einsum.Einsum{
+		einsum.GEMM("gemm", 16, 8, 4),
+		einsum.GroupedBMM("gbmm", 8, 2, 4, 4, 4),
+		einsum.Conv2D("conv", einsum.ConvConfig{P: 4, Q: 4, N: 4, C: 4, R: 3, S: 3, T: 2, D: 2}),
+	}
+	for _, e := range workloads {
+		ev := NewEvaluator(e)
+		mapping.Space(e, func(m *mapping.Mapping) {
+			b1, a1 := ev.EvaluateCompact(m)
+			b2, a2 := ev.EvaluateImperfectCompact(m)
+			if b1 != b2 || a1 != a2 {
+				t.Fatalf("%s mapping %s: perfect (%d,%d) != imperfect (%d,%d)",
+					e.Name, m, b1, a1, b2, a2)
+			}
+		})
+	}
+}
+
+// TestImperfectBoundaryTileAccounting: with an imperfect split the access
+// count uses the effective average tile, never below the tensor size.
+func TestImperfectBoundaryTileAccounting(t *testing.T) {
+	g := einsum.GEMM("g", 10, 10, 10)
+	ev := NewEvaluator(g)
+	m := &mapping.Mapping{
+		Splits: map[string]shape.Split{
+			// Inner 3 over shape 10: outer = ceil(10/3) = 4, covering 12.
+			"M": {Inner: 3, Outer: 4},
+			"K": {Inner: 10, Outer: 1},
+			"N": {Inner: 10, Outer: 1},
+		},
+		OuterOrder: []string{"M", "K", "N"},
+	}
+	buf, acc := ev.EvaluateImperfectCompact(m)
+	// Buffer charges full inner tiles: A 3*10 + W 10*10 + B 3*10 = 160
+	// elements.
+	if buf != 160*2 {
+		t.Fatalf("buffer = %d, want 320", buf)
+	}
+	// Accesses: every tensor read exactly once (only the M loop is
+	// active and effective tile sums to the shape): 3*100 elements.
+	if acc != 300*2 {
+		t.Fatalf("accesses = %d, want 600", acc)
+	}
+}
+
+func TestImperfectNeverBelowTensorSizes(t *testing.T) {
+	g := einsum.GEMM("g", 10, 6, 14)
+	ev := NewEvaluator(g)
+	algoMin := g.AlgorithmicMinBytes()
+	mapping.SpaceImperfect(g, 6, func(m *mapping.Mapping) {
+		_, acc := ev.EvaluateImperfectCompact(m)
+		if acc < algoMin {
+			t.Fatalf("mapping %s: %d below algorithmic minimum %d", m, acc, algoMin)
+		}
+	})
+}

@@ -1,0 +1,130 @@
+// Package trace generates memory-address traces for concrete tiled-GEMM
+// implementations. Together with the cache simulator it substitutes for
+// the paper's hardware measurements (Fig. 2, Fig. 24a): each trace is one
+// *specific* mapping whose simulated DRAM traffic must land on or above
+// the mapping-independent Orojenesis bound.
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/shape"
+)
+
+// Visitor receives one memory access: a byte address and whether it is a
+// write.
+type Visitor func(addr uint64, write bool)
+
+// TiledGEMM describes a concrete tiled GEMM implementation: C[M,N] +=
+// A[M,K] * W[K,N] tiled with inner tile sizes (M0, K0, N0) and an outer
+// loop order. The three operands live back to back in a flat address
+// space; accesses are emitted in execution order at element granularity,
+// with the accumulator register-held across the inner K loop (one output
+// read+write per inner (m,n) pair per K tile, the standard register-blocked
+// inner loop).
+type TiledGEMM struct {
+	M, K, N    int64
+	M0, K0, N0 int64
+	// Order is the outer loop nest from outermost to innermost, a
+	// permutation of "M", "K", "N".
+	Order       [3]string
+	ElementSize int64
+}
+
+// Validate checks tile divisibility and the loop order.
+func (t *TiledGEMM) Validate() error {
+	if t.M < 1 || t.K < 1 || t.N < 1 {
+		return fmt.Errorf("trace: non-positive GEMM shape %dx%dx%d", t.M, t.K, t.N)
+	}
+	if t.M0 < 1 || t.K0 < 1 || t.N0 < 1 ||
+		t.M%t.M0 != 0 || t.K%t.K0 != 0 || t.N%t.N0 != 0 {
+		return fmt.Errorf("trace: tiles (%d,%d,%d) do not divide shape (%d,%d,%d)",
+			t.M0, t.K0, t.N0, t.M, t.K, t.N)
+	}
+	seen := map[string]bool{}
+	for _, r := range t.Order {
+		if r != "M" && r != "K" && r != "N" || seen[r] {
+			return fmt.Errorf("trace: bad loop order %v", t.Order)
+		}
+		seen[r] = true
+	}
+	if t.ElementSize < 1 {
+		return fmt.Errorf("trace: element size %d", t.ElementSize)
+	}
+	return nil
+}
+
+// Bases returns the starting byte addresses of A, W and B.
+func (t *TiledGEMM) Bases() (a, w, b uint64) {
+	a = 0
+	w = uint64(t.M * t.K * t.ElementSize)
+	b = w + uint64(t.K*t.N*t.ElementSize)
+	return
+}
+
+// TotalAccesses returns the number of accesses Emit will produce.
+func (t *TiledGEMM) TotalAccesses() int64 {
+	macs := shape.Product(t.M, t.K, t.N)
+	// 2 operand reads per MAC + output read+write once per (m,n) pair per
+	// K tile.
+	outTouches := 2 * shape.Product(t.M, t.N, t.K/t.K0)
+	return 2*macs + outTouches
+}
+
+// Emit walks the tiled loop nest and reports every access to visit.
+func (t *TiledGEMM) Emit(visit Visitor) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	baseA, baseW, baseB := t.Bases()
+	es := uint64(t.ElementSize)
+
+	bounds := map[string]int64{"M": t.M / t.M0, "K": t.K / t.K0, "N": t.N / t.N0}
+	tiles := map[string]int64{"M": t.M0, "K": t.K0, "N": t.N0}
+
+	idx := map[string]int64{}
+	var outer func(level int)
+	inner := func() {
+		mBase := idx["M"] * tiles["M"]
+		kBase := idx["K"] * tiles["K"]
+		nBase := idx["N"] * tiles["N"]
+		for m := mBase; m < mBase+t.M0; m++ {
+			for n := nBase; n < nBase+t.N0; n++ {
+				// Load the accumulator once per K tile.
+				addrB := baseB + uint64(m*t.N+n)*es
+				visit(addrB, false)
+				for k := kBase; k < kBase+t.K0; k++ {
+					visit(baseA+uint64(m*t.K+k)*es, false)
+					visit(baseW+uint64(k*t.N+n)*es, false)
+				}
+				visit(addrB, true)
+			}
+		}
+	}
+	outer = func(level int) {
+		if level == len(t.Order) {
+			inner()
+			return
+		}
+		r := t.Order[level]
+		for i := int64(0); i < bounds[r]; i++ {
+			idx[r] = i
+			outer(level + 1)
+		}
+	}
+	outer(0)
+	return nil
+}
+
+// Collect materializes the full trace; intended for small shapes (tests,
+// Belady analysis), since traces grow with 2*M*K*N.
+func (t *TiledGEMM) Collect() ([]uint64, []bool, error) {
+	n := t.TotalAccesses()
+	addrs := make([]uint64, 0, n)
+	writes := make([]bool, 0, n)
+	err := t.Emit(func(addr uint64, write bool) {
+		addrs = append(addrs, addr)
+		writes = append(writes, write)
+	})
+	return addrs, writes, err
+}

@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"testing"
+)
+
+func tinyGEMM() *TiledGEMM {
+	return &TiledGEMM{
+		M: 4, K: 4, N: 4,
+		M0: 2, K0: 2, N0: 2,
+		Order:       [3]string{"M", "K", "N"},
+		ElementSize: 2,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := tinyGEMM().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := tinyGEMM()
+	bad.M0 = 3
+	if err := bad.Validate(); err == nil {
+		t.Fatal("non-dividing tile accepted")
+	}
+	bad = tinyGEMM()
+	bad.Order = [3]string{"M", "M", "N"}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("repeated loop accepted")
+	}
+	bad = tinyGEMM()
+	bad.ElementSize = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero element size accepted")
+	}
+}
+
+func TestTotalAccessesMatchesEmit(t *testing.T) {
+	g := tinyGEMM()
+	var count int64
+	if err := g.Emit(func(uint64, bool) { count++ }); err != nil {
+		t.Fatal(err)
+	}
+	if count != g.TotalAccesses() {
+		t.Fatalf("emitted %d accesses, TotalAccesses says %d", count, g.TotalAccesses())
+	}
+	// 2*MACs + 2*M*N*(K/K0) = 2*64 + 2*4*4*2 = 192.
+	if count != 192 {
+		t.Fatalf("count = %d, want 192", count)
+	}
+}
+
+func TestAddressRangesAndWrites(t *testing.T) {
+	g := tinyGEMM()
+	baseA, baseW, baseB := g.Bases()
+	if baseA != 0 || baseW != 4*4*2 || baseB != 2*4*4*2 {
+		t.Fatalf("bases = %d,%d,%d", baseA, baseW, baseB)
+	}
+	end := baseB + uint64(4*4*2)
+	var writes int64
+	seenB := map[uint64]bool{}
+	err := g.Emit(func(addr uint64, write bool) {
+		if addr >= end {
+			t.Fatalf("address %d out of range", addr)
+		}
+		if write {
+			writes++
+			if addr < baseB {
+				t.Fatalf("write to non-output address %d", addr)
+			}
+			seenB[addr] = true
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One write per (m,n) pair per K tile: 4*4*2 = 32.
+	if writes != 32 {
+		t.Fatalf("writes = %d, want 32", writes)
+	}
+	// Every output element is written.
+	if len(seenB) != 16 {
+		t.Fatalf("distinct output addresses = %d, want 16", len(seenB))
+	}
+}
+
+func TestReadCountsPerOperand(t *testing.T) {
+	g := tinyGEMM()
+	_, baseW, baseB := g.Bases()
+	var readsA, readsW, readsB int64
+	err := g.Emit(func(addr uint64, write bool) {
+		if write {
+			return
+		}
+		switch {
+		case addr < baseW:
+			readsA++
+		case addr < baseB:
+			readsW++
+		default:
+			readsB++
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	macs := int64(4 * 4 * 4)
+	if readsA != macs || readsW != macs {
+		t.Fatalf("A/W reads = %d/%d, want %d each", readsA, readsW, macs)
+	}
+	if readsB != 32 {
+		t.Fatalf("B reads = %d, want 32", readsB)
+	}
+}
+
+func TestCollect(t *testing.T) {
+	g := tinyGEMM()
+	addrs, writes, err := g.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(addrs)) != g.TotalAccesses() || len(addrs) != len(writes) {
+		t.Fatalf("Collect lengths %d/%d", len(addrs), len(writes))
+	}
+}
+
+func TestEmitRejectsInvalid(t *testing.T) {
+	bad := tinyGEMM()
+	bad.N0 = 3
+	if err := bad.Emit(func(uint64, bool) {}); err == nil {
+		t.Fatal("Emit accepted invalid config")
+	}
+}

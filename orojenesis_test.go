@@ -1,0 +1,119 @@
+package orojenesis
+
+import (
+	"strings"
+	"testing"
+)
+
+// These tests exercise the public facade exactly as a downstream user
+// would, without touching internal packages.
+
+func TestFacadeSingleEinsum(t *testing.T) {
+	g := GEMM("g", 128, 128, 128)
+	a, err := Analyze(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, ok := a.Curve.AccessesAt(a.MaxEffectualBytes)
+	if !ok || acc != g.AlgorithmicMinBytes() {
+		t.Fatalf("accesses at max effectual = (%d,%v), want algo min %d",
+			acc, ok, g.AlgorithmicMinBytes())
+	}
+	if c := Bound(g, Options{}); c.MinAccessBytes() != a.Curve.MinAccessBytes() {
+		t.Fatal("Bound disagrees with Analyze")
+	}
+}
+
+func TestFacadeWorkloadBuilders(t *testing.T) {
+	if BMM("b", 4, 8, 8, 8).MACs() != 4*8*8*8 {
+		t.Fatal("BMM builder broken")
+	}
+	if GroupedBMM("g", 8, 2, 4, 4, 4).MACs() != 8*4*4*4 {
+		t.Fatal("GroupedBMM builder broken")
+	}
+	conv := Conv2D("c", ConvConfig{P: 4, Q: 4, N: 4, C: 4, R: 3, S: 3})
+	if conv.MACs() != 4*4*4*4*3*3 {
+		t.Fatal("Conv2D builder broken")
+	}
+}
+
+func TestFacadeChain(t *testing.T) {
+	chain := MustChain("ffn", 64,
+		GEMMOp("mm_0", 64, 16, 64),
+		GEMMOp("mm_1", 64, 64, 16),
+	)
+	ca, err := AnalyzeChain(chain, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ca.Tiled.MinAccessBytes() != ca.AlgoMin {
+		t.Fatalf("tiled fusion floor %d != fused algo min %d",
+			ca.Tiled.MinAccessBytes(), ca.AlgoMin)
+	}
+	if _, err := NewChain("bad", 64, GEMMOp("a", 64, 16, 64), GEMMOp("b", 64, 32, 16)); err == nil {
+		t.Fatal("mismatched chain accepted")
+	}
+}
+
+func TestFacadeProbeLevels(t *testing.T) {
+	c := Bound(GEMM("g", 64, 64, 64), Options{})
+	probes := ProbeLevels(c, map[string]int64{"L1": 1 << 10, "L2": 1 << 16})
+	if len(probes) != 2 {
+		t.Fatalf("got %d probes", len(probes))
+	}
+}
+
+func TestFacadePerformanceMesa(t *testing.T) {
+	g := GEMM("g", 256, 256, 256)
+	c := Bound(g, Options{})
+	mesa := PerformanceMesa(c, g.MACs(), GF100(), Ratios(0.01, 0.99, 50))
+	best, ok := OptimalRatio(mesa)
+	if !ok || best.Achieved <= 0 {
+		t.Fatalf("no optimum: %+v", best)
+	}
+	oiMesa := OIMesa(c, g.MACs(), g.ElementSize)
+	if len(oiMesa) == 0 {
+		t.Fatal("empty OI mesa")
+	}
+}
+
+func TestFacadeMHA(t *testing.T) {
+	m := MHAConfig{Instances: 1, Seq: 64, Heads: 2, FeatureDim: 8}
+	flash := m.FlashAttentionCurve()
+	flat := m.FLATCurve()
+	if flash.MinAccessBytes() != flat.MinAccessBytes() {
+		t.Fatal("MHA strategies should converge to the same floor")
+	}
+}
+
+func TestFacadeLLM(t *testing.T) {
+	cfg := GPT3_6_7B()
+	if cfg.L() != 32768 {
+		t.Fatal("GPT3 config wrong")
+	}
+	study, err := NewBlockStudy(cfg.Scaled(16), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if study.BlockSegmented.Empty() {
+		t.Fatal("empty block curve")
+	}
+}
+
+func TestFacadeReporting(t *testing.T) {
+	c := Bound(GEMM("g", 64, 64, 64), Options{})
+	var b strings.Builder
+	if err := WriteCSV(&b, Series{Name: "bound", Curve: c}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "bound,") {
+		t.Fatal("CSV missing series")
+	}
+	chart := Ascii(AsciiOptions{Width: 40, Height: 8}, Series{Name: "bound", Curve: c})
+	if !strings.Contains(chart, "*") {
+		t.Fatal("ASCII chart empty")
+	}
+	if SummaryTable([]int64{1 << 12}, Series{Name: "bound", Curve: c}) == "" {
+		t.Fatal("empty summary")
+	}
+}
