@@ -1,0 +1,23 @@
+# Tier-1 verification plus the race-detector pass over the packages with
+# concurrent traversal code.
+
+RACE_PKGS := ./internal/bound ./internal/pareto ./internal/fusion \
+             ./internal/traverse ./internal/mapping
+
+.PHONY: all vet build test race ci
+
+all: ci
+
+vet:
+	go vet ./...
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race $(RACE_PKGS)
+
+ci: vet build test race

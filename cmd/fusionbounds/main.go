@@ -14,6 +14,7 @@ import (
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	orojenesis "repro"
 	"repro/internal/cliutil"
@@ -29,7 +30,14 @@ func main() {
 	csv := flag.Bool("csv", false, "emit all curves as CSV")
 	ascii := flag.Bool("ascii", false, "render an ASCII chart")
 	reductions := flag.Bool("reductions", true, "print tiled-vs-unfused reduction factors")
+	workers := flag.Int("workers", 0, "parallel evaluation goroutines (0 = GOMAXPROCS)")
+	stats := flag.Bool("stats", false, "print per-phase traversal statistics")
 	flag.Parse()
+
+	opts := orojenesis.Options{Workers: *workers}
+	if err := opts.Validate(); err != nil {
+		log.Fatal(err)
+	}
 
 	var chain *orojenesis.Chain
 	var err error
@@ -41,13 +49,22 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	a, err := orojenesis.AnalyzeChain(chain, orojenesis.Options{})
+	a, err := orojenesis.AnalyzeChain(chain, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Printf("chain: %d ops over M=%d\n", chain.Len(), chain.M)
 	fmt.Printf("algorithmic min: unfused %d B, fused %d B\n", a.UnfusedAlgoMin, a.AlgoMin)
+	if *stats {
+		fmt.Printf("\n%-22s %12s %8s %12s %14s\n", "phase", "evaluated", "workers", "elapsed", "points/sec")
+		for _, p := range a.Stats.Phases {
+			fmt.Printf("%-22s %12d %8d %12v %14.0f\n",
+				p.Name, p.Evaluated, p.Workers, p.Elapsed.Round(time.Microsecond), p.PerSec())
+		}
+		fmt.Printf("%-22s %12d %8d %12v\n\n", "total",
+			a.Stats.TotalEvaluated(), a.Stats.Workers, a.Stats.Total().Round(time.Microsecond))
+	}
 
 	series := []orojenesis.Series{
 		{Name: "unfused", Curve: a.Unfused},

@@ -38,7 +38,14 @@ func main() {
 	probe := flag.String("probe", "", "probe levels, e.g. L1=256KB,L2=40MB")
 	ratio := flag.Bool("ratio", false, "run the Fig. 11 max-effectual-buffer ratio study")
 	imperfect := flag.Int("imperfect", 0, "extra imperfect-factor samples per rank (0 = perfect factors only)")
+	workers := flag.Int("workers", 0, "parallel evaluation goroutines (0 = GOMAXPROCS)")
+	stats := flag.Bool("stats", false, "print traversal statistics (workers used, mappings/sec)")
 	flag.Parse()
+
+	opts := orojenesis.Options{ImperfectExtra: *imperfect, Workers: *workers}
+	if err := opts.Validate(); err != nil {
+		log.Fatal(err)
+	}
 
 	if *ratio {
 		runRatioStudy()
@@ -49,13 +56,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	a, err := orojenesis.Analyze(e, orojenesis.Options{ImperfectExtra: *imperfect})
+	a, err := orojenesis.Analyze(e, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Printf("workload: %s\n", e)
 	fmt.Printf("mappings evaluated: %d in %v\n", a.Stats.MappingsEvaluated, a.Stats.Elapsed)
+	if *stats {
+		fmt.Printf("workers: %d  throughput: %.0f mappings/sec\n",
+			a.Stats.Workers, a.Stats.MappingsPerSec())
+	}
 	fmt.Printf("MACs: %d  algorithmic OI: %.2f  peak attainable OI: %.2f\n",
 		a.MACs, a.AlgorithmicOI, a.PeakOI)
 	fmt.Printf("algorithmic min: %d B  max effectual buffer: %d B  gap1: %.3f\n",

@@ -16,27 +16,36 @@ import (
 	"time"
 
 	orojenesis "repro"
-	"repro/internal/bound"
 	"repro/internal/fusion"
 	"repro/internal/llm"
 	"repro/internal/oi"
+	"repro/internal/traverse"
 )
 
 type artifact struct {
-	File  string
-	Paper string
-	Note  string
+	File    string
+	Paper   string
+	Note    string
+	Elapsed time.Duration
 }
 
 func main() {
 	out := flag.String("out", "results", "output directory")
 	scale := flag.Int64("scale", 1, "divide LLM dims by this power of two")
+	workers := flag.Int("workers", 0, "parallel evaluation goroutines (0 = GOMAXPROCS)")
+	stats := flag.Bool("stats", false, "print per-artifact wall time and worker count at the end")
 	flag.Parse()
+
+	opts := orojenesis.Options{Workers: *workers}
+	if err := opts.Validate(); err != nil {
+		log.Fatal(err)
+	}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		log.Fatal(err)
 	}
 	start := time.Now()
+	last := start
 	var index []artifact
 	add := func(file, paper, note string, series ...orojenesis.Series) {
 		path := filepath.Join(*out, file)
@@ -48,20 +57,22 @@ func main() {
 		if err := orojenesis.WriteCSV(f, series...); err != nil {
 			log.Fatal(err)
 		}
-		index = append(index, artifact{File: file, Paper: paper, Note: note})
+		now := time.Now()
+		index = append(index, artifact{File: file, Paper: paper, Note: note, Elapsed: now.Sub(last)})
+		last = now
 		fmt.Printf("wrote %s (%s)\n", path, paper)
 	}
 
 	// Fig. 1 / Fig. 7: the 16k x 1k x 1k ski slope.
 	g1 := orojenesis.GEMM("gemm_16k_1k_1k", 16384, 1024, 1024)
 	add("fig01_skislope.csv", "Fig. 1/7", "ski-slope bound, probe at any level capacity",
-		orojenesis.Series{Name: g1.Name, Curve: orojenesis.Bound(g1, orojenesis.Options{})})
+		orojenesis.Series{Name: g1.Name, Curve: orojenesis.Bound(g1, opts)})
 
 	// Fig. 10: GEMM shapes.
 	var fig10 []orojenesis.Series
 	for _, side := range []int64{1024, 2048, 4096, 8192} {
 		g := orojenesis.GEMM(fmt.Sprintf("square_%d", side), side, side, side)
-		fig10 = append(fig10, orojenesis.Series{Name: g.Name, Curve: orojenesis.Bound(g, orojenesis.Options{})})
+		fig10 = append(fig10, orojenesis.Series{Name: g.Name, Curve: orojenesis.Bound(g, opts)})
 	}
 	add("fig10_gemm_shapes.csv", "Fig. 10", "square GEMM sweep", fig10...)
 
@@ -79,7 +90,7 @@ func main() {
 		{"r3s3_d2", orojenesis.ConvConfig{P: 16, Q: 16, N: 64, C: 64, R: 3, S: 3, D: 2}},
 	} {
 		e := orojenesis.Conv2D(c.name, c.cfg)
-		fig12 = append(fig12, orojenesis.Series{Name: c.name, Curve: orojenesis.Bound(e, orojenesis.Options{})})
+		fig12 = append(fig12, orojenesis.Series{Name: c.name, Curve: orojenesis.Bound(e, opts)})
 	}
 	add("fig12_conv.csv", "Fig. 12", "filter/stride/dilation sweep", fig12...)
 
@@ -87,7 +98,7 @@ func main() {
 	var fig13 []orojenesis.Series
 	for _, h := range []int64{1, 2, 4, 8, 16, 32} {
 		e := orojenesis.BMM(fmt.Sprintf("h%d", h), h, 4096, 4096/h, 4096)
-		fig13 = append(fig13, orojenesis.Series{Name: e.Name, Curve: orojenesis.Bound(e, orojenesis.Options{})})
+		fig13 = append(fig13, orojenesis.Series{Name: e.Name, Curve: orojenesis.Bound(e, opts)})
 	}
 	add("fig13_bmm_heads.csv", "Fig. 13", "fixed 128 GOPs, K = 4096/heads", fig13...)
 
@@ -95,7 +106,7 @@ func main() {
 	var fig14 []orojenesis.Series
 	for _, grp := range []int64{1, 4, 8, 16, 32} {
 		e := orojenesis.GroupedBMM(fmt.Sprintf("g%d", grp), 32, grp, 4096, 128, 4096)
-		fig14 = append(fig14, orojenesis.Series{Name: e.Name, Curve: orojenesis.Bound(e, orojenesis.Options{})})
+		fig14 = append(fig14, orojenesis.Series{Name: e.Name, Curve: orojenesis.Bound(e, opts)})
 	}
 	add("fig14_grouped_bmm.csv", "Fig. 14", "H=32, M=4k, K=128, N=4k", fig14...)
 
@@ -103,7 +114,7 @@ func main() {
 	chain := fusion.MustChain("pair", 32768,
 		fusion.GEMMOp("g0", 32768, 4096, 16384),
 		fusion.GEMMOp("g1", 32768, 16384, 4096))
-	perOp := chain.PerOpCurves(bound.Options{})
+	perOp := chain.PerOpCurves(opts)
 	tiled, err := fusion.TiledFusion(chain)
 	if err != nil {
 		log.Fatal(err)
@@ -124,11 +135,11 @@ func main() {
 	}
 	mha := cfg.MHA()
 	add("fig20_mha_strategies.csv", "Fig. 20", cfg.Name+" attention",
-		orojenesis.Series{Name: "unfused", Curve: mha.UnfusedCurve(bound.Options{})},
+		orojenesis.Series{Name: "unfused", Curve: mha.UnfusedCurve(opts)},
 		orojenesis.Series{Name: "flat", Curve: mha.FLATCurve()},
 		orojenesis.Series{Name: "flashattention", Curve: mha.FlashAttentionCurve()})
 
-	study, err := llm.NewBlockStudy(cfg, bound.Options{})
+	study, err := llm.NewBlockStudy(cfg, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -161,7 +172,7 @@ func main() {
 	}
 	mf.Close()
 	index = append(index, artifact{File: "fig23_perf_mesa.csv", Paper: "Fig. 23",
-		Note: "buffer-area ratio vs throughput, GF100 envelope"})
+		Note: "buffer-area ratio vs throughput, GF100 envelope", Elapsed: time.Since(last)})
 	fmt.Printf("wrote %s (Fig. 23)\n", mesaPath)
 
 	// INDEX.md
@@ -175,5 +186,13 @@ func main() {
 		fmt.Fprintf(idx, "| %s | %s | %s |\n", a.File, a.Paper, a.Note)
 	}
 	idx.Close()
+	if *stats {
+		fmt.Printf("\n%-28s %12s\n", "artifact", "wall time")
+		for _, a := range index {
+			fmt.Printf("%-28s %12v\n", a.File, a.Elapsed.Round(time.Millisecond))
+		}
+		fmt.Printf("%-28s %12v  (%d workers)\n", "total",
+			time.Since(start).Round(time.Millisecond), traverse.ResolveWorkers(*workers))
+	}
 	fmt.Printf("done in %v: %d artifacts in %s\n", time.Since(start), len(index), *out)
 }

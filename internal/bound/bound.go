@@ -5,8 +5,8 @@
 package bound
 
 import (
-	"runtime"
-	"sync"
+	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/einsum"
@@ -14,13 +14,26 @@ import (
 	"repro/internal/pareto"
 	"repro/internal/shape"
 	"repro/internal/snowcat"
+	"repro/internal/traverse"
 )
 
 // Stats reports the cost of a bound derivation, used by the Table I
-// runtime comparison.
+// runtime comparison and the cmd tools' -stats output.
 type Stats struct {
 	MappingsEvaluated int64
 	Elapsed           time.Duration
+
+	// Workers is the number of evaluation goroutines the traversal
+	// actually launched (never more than the number of work items).
+	Workers int
+}
+
+// MappingsPerSec returns the traversal throughput.
+func (s Stats) MappingsPerSec() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.MappingsEvaluated) / s.Elapsed.Seconds()
 }
 
 // Result bundles the derived ski-slope curve with traversal statistics.
@@ -32,7 +45,7 @@ type Result struct {
 // Options tunes the traversal.
 type Options struct {
 	// Workers sets the number of parallel evaluation goroutines.
-	// Zero means GOMAXPROCS.
+	// Zero means GOMAXPROCS; negative values are rejected by Validate.
 	Workers int
 
 	// ImperfectExtra, when positive, widens the mapspace with imperfect
@@ -49,94 +62,75 @@ type Options struct {
 	ChargeSpills bool
 }
 
-// Derive runs the Orojenesis flow for a single Einsum and returns its
-// ski-slope curve annotated with the workload's algorithmic minimum.
-func Derive(e *einsum.Einsum, opts Options) Result {
-	start := time.Now()
-	if opts.ImperfectExtra > 0 {
-		return deriveImperfect(e, opts, start)
+// Validate reports option conflicts: negative Workers or ImperfectExtra,
+// and the unsupported ChargeSpills + ImperfectExtra combination (the
+// imperfect evaluator's rational tile extents have no exact spill
+// accounting, so silently ignoring one of the two would mislead).
+func (o Options) Validate() error {
+	if o.Workers < 0 {
+		return fmt.Errorf("bound: Options.Workers = %d, want >= 0 (0 means GOMAXPROCS)", o.Workers)
 	}
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	if o.ImperfectExtra < 0 {
+		return fmt.Errorf("bound: Options.ImperfectExtra = %d, want >= 0", o.ImperfectExtra)
 	}
-
-	// Parallelize over the split choices of the first rank: each worker
-	// enumerates a sub-Einsum space with that rank's split pinned.
-	firstSplits := shape.Splits(e.Ranks[0].Shape)
-	if workers > len(firstSplits) {
-		workers = len(firstSplits)
+	if o.ChargeSpills && o.ImperfectExtra > 0 {
+		return fmt.Errorf("bound: Options.ChargeSpills is not supported together with ImperfectExtra")
 	}
-
-	type partial struct {
-		curve *pareto.Curve
-		count int64
-	}
-	jobs := make(chan shape.Split, len(firstSplits))
-	results := make(chan partial, workers)
-	for _, s := range firstSplits {
-		jobs <- s
-	}
-	close(jobs)
-
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			b := pareto.NewBuilder()
-			ev := snowcat.NewEvaluator(e)
-			eval := ev.EvaluateCompact
-			if opts.ChargeSpills {
-				eval = ev.EvaluateCompactSpillCharged
-			}
-			var count int64
-			for s := range jobs {
-				mapping.SpacePinned(e, s, func(m *mapping.Mapping) {
-					buf, acc := eval(m)
-					b.Add(buf, acc)
-					count++
-				})
-			}
-			results <- partial{curve: b.Curve(), count: count}
-		}()
-	}
-	wg.Wait()
-	close(results)
-
-	merged := pareto.NewBuilder()
-	var total int64
-	for p := range results {
-		merged.AddCurve(p.curve)
-		total += p.count
-	}
-	curve := merged.Curve()
-	curve.AlgoMinBytes = e.AlgorithmicMinBytes()
-	curve.TotalOperandBytes = e.TotalOperandBytes()
-	return Result{
-		Curve: curve,
-		Stats: Stats{MappingsEvaluated: total, Elapsed: time.Since(start)},
-	}
+	return nil
 }
 
-// deriveImperfect runs the widened imperfect-factor traversal. The
-// perfect-factor space is a subset of the imperfect one, so the result
-// dominates the perfect-factor curve pointwise.
-func deriveImperfect(e *einsum.Einsum, opts Options, start time.Time) Result {
-	b := pareto.NewBuilder()
-	ev := snowcat.NewEvaluator(e)
-	var count int64
-	mapping.SpaceImperfect(e, opts.ImperfectExtra, func(m *mapping.Mapping) {
-		buf, acc := ev.EvaluateImperfectCompact(m)
-		b.Add(buf, acc)
-		count++
+// Derive runs the Orojenesis flow for a single Einsum and returns its
+// ski-slope curve annotated with the workload's algorithmic minimum.
+//
+// The traversal is distributed over Options.Workers goroutines by chunking
+// the flat tiling index space (see internal/traverse), so utilization
+// scales with cores regardless of the factor structure of any rank, and
+// the curve is byte-identical for every worker count. Derive panics on
+// invalid Options; callers with an error path should check
+// Options.Validate first.
+func Derive(e *einsum.Einsum, opts Options) Result {
+	if err := opts.Validate(); err != nil {
+		panic(err.Error())
+	}
+	start := time.Now()
+
+	imperfect := opts.ImperfectExtra > 0
+	var en *mapping.Enum
+	if imperfect {
+		en = mapping.NewImperfectEnum(e, opts.ImperfectExtra)
+	} else {
+		en = mapping.NewEnum(e)
+	}
+
+	curve, ts := traverse.Frontier(en.Tilings(), opts.Workers, func() traverse.ChunkFunc {
+		ev := snowcat.NewEvaluator(e)
+		eval := ev.EvaluateCompact
+		switch {
+		case imperfect:
+			eval = ev.EvaluateImperfectCompact
+		case opts.ChargeSpills:
+			eval = ev.EvaluateCompactSpillCharged
+		}
+		return func(lo, hi int64, b *pareto.Builder) int64 {
+			var count int64
+			en.Visit(lo, hi, func(m *mapping.Mapping) {
+				buf, acc := eval(m)
+				b.Add(buf, acc)
+				count++
+			})
+			return count
+		}
 	})
-	curve := b.Curve()
+
 	curve.AlgoMinBytes = e.AlgorithmicMinBytes()
 	curve.TotalOperandBytes = e.TotalOperandBytes()
 	return Result{
 		Curve: curve,
-		Stats: Stats{MappingsEvaluated: count, Elapsed: time.Since(start)},
+		Stats: Stats{
+			MappingsEvaluated: ts.Evaluated,
+			Elapsed:           time.Since(start),
+			Workers:           ts.Workers,
+		},
 	}
 }
 
@@ -152,7 +146,9 @@ type LevelBound struct {
 
 // ProbeLevels reads the curve at each level's capacity, yielding the
 // multi-level data movement bounds of Fig. 7. Per Sec. III-B the composed
-// multi-level bound is valid but not guaranteed tight.
+// multi-level bound is valid but not guaranteed tight. Results are sorted
+// by ascending capacity, then by level name, so repeated runs print
+// identically regardless of map iteration order.
 func ProbeLevels(c *pareto.Curve, levels map[string]int64) []LevelBound {
 	out := make([]LevelBound, 0, len(levels))
 	for name, capacity := range levels {
@@ -164,6 +160,12 @@ func ProbeLevels(c *pareto.Curve, levels map[string]int64) []LevelBound {
 			Feasible:      ok,
 		})
 	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].CapacityBytes != out[j].CapacityBytes {
+			return out[i].CapacityBytes < out[j].CapacityBytes
+		}
+		return out[i].Level < out[j].Level
+	})
 	return out
 }
 

@@ -7,12 +7,14 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/bound"
 	"repro/internal/einsum"
 	"repro/internal/fusion"
 	"repro/internal/oi"
 	"repro/internal/pareto"
+	"repro/internal/traverse"
 )
 
 // EinsumAnalysis is the full single-Einsum report: the ski-slope curve,
@@ -34,6 +36,9 @@ type EinsumAnalysis struct {
 
 // AnalyzeEinsum runs the Orojenesis flow for one Einsum.
 func AnalyzeEinsum(e *einsum.Einsum, opts bound.Options) (*EinsumAnalysis, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	if err := e.Validate(); err != nil {
 		return nil, err
 	}
@@ -66,6 +71,32 @@ func (a *EinsumAnalysis) OIAt(bufBytes int64) (float64, bool) {
 	return oi.OIAt(a.Curve, a.MACs, a.Einsum.ElementSize, bufBytes)
 }
 
+// ChainStats times the phases of a chain analysis: per-op exhaustive
+// derivations, the fused-template sweep, the untiled bound and the
+// segmentation study. Surfaced by cmd/fusionbounds behind -stats.
+type ChainStats struct {
+	Workers int // largest worker count any phase actually used
+	Phases  []traverse.Phase
+}
+
+// Total returns the summed wall time of all phases.
+func (s ChainStats) Total() time.Duration {
+	var d time.Duration
+	for _, p := range s.Phases {
+		d += p.Elapsed
+	}
+	return d
+}
+
+// TotalEvaluated returns the summed evaluation count of all phases.
+func (s ChainStats) TotalEvaluated() int64 {
+	var n int64
+	for _, p := range s.Phases {
+		n += p.Evaluated
+	}
+	return n
+}
+
 // ChainAnalysis is the multi-Einsum report of Sec. V/VI: the unfused
 // baseline and the fusion bounds.
 type ChainAnalysis struct {
@@ -77,30 +108,64 @@ type ChainAnalysis struct {
 	Best           *pareto.Curve // best segmentation at every capacity
 	AlgoMin        int64         // fused algorithmic minimum, bytes
 	UnfusedAlgoMin int64         // unfused algorithmic minimum, bytes
+	Stats          ChainStats
 }
 
 // AnalyzeChain runs the multi-Einsum Orojenesis flow for a fusible chain
 // of at least two ops.
 func AnalyzeChain(c *fusion.Chain, opts bound.Options) (*ChainAnalysis, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
 	if c.Len() < 2 {
 		return nil, fmt.Errorf("core: AnalyzeChain needs >= 2 ops, got %d", c.Len())
 	}
-	perOp := c.PerOpCurves(opts)
-	tiled, err := fusion.TiledFusion(c)
+	var stats ChainStats
+	phase := func(name string, evaluated int64, workers int, elapsed time.Duration) {
+		stats.Phases = append(stats.Phases, traverse.Phase{
+			Name: name, Evaluated: evaluated, Workers: workers, Elapsed: elapsed,
+		})
+		if workers > stats.Workers {
+			stats.Workers = workers
+		}
+	}
+
+	start := time.Now()
+	perOp := make([]*pareto.Curve, c.Len())
+	var perOpMappings int64
+	perOpWorkers := 0
+	for e := 0; e < c.Len(); e++ {
+		res := bound.Derive(c.Ops[e].Ref, opts)
+		perOp[e] = res.Curve
+		perOpMappings += res.Stats.MappingsEvaluated
+		if res.Stats.Workers > perOpWorkers {
+			perOpWorkers = res.Stats.Workers
+		}
+	}
+	phase("per-op curves", perOpMappings, perOpWorkers, time.Since(start))
+
+	tiled, tiledStats, err := fusion.TiledFusionStats(c, opts.Workers)
 	if err != nil {
 		return nil, err
 	}
+	phase("tiled-fusion sweep", tiledStats.Evaluated, tiledStats.Workers, tiledStats.Elapsed)
+
+	start = time.Now()
 	untiled, err := fusion.UntiledFusion(c)
 	if err != nil {
 		return nil, err
 	}
-	best, err := fusion.BestSegmentation(c, perOp)
+	phase("untiled fusion", 1, 1, time.Since(start))
+
+	best, segStats, err := fusion.BestSegmentationStats(c, perOp, opts.Workers)
 	if err != nil {
 		return nil, err
 	}
+	phase("segmentation study", segStats.Evaluated, segStats.Workers, segStats.Elapsed)
+
 	return &ChainAnalysis{
 		Chain:          c,
 		PerOp:          perOp,
@@ -110,6 +175,7 @@ func AnalyzeChain(c *fusion.Chain, opts bound.Options) (*ChainAnalysis, error) {
 		Best:           best,
 		AlgoMin:        c.FusedAlgoMinBytes(),
 		UnfusedAlgoMin: c.UnfusedAlgoMinBytes(),
+		Stats:          stats,
 	}, nil
 }
 

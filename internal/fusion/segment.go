@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/pareto"
+	"repro/internal/traverse"
 )
 
 // Segmentation describes one way to cut a chain into consecutively
@@ -65,28 +66,38 @@ type SegmentedResult struct {
 // tiled-fusion bound. The curve of a segmentation is the capacity-wise sum
 // of its segments' curves.
 func SegmentationStudy(c *Chain, perOp []*pareto.Curve) ([]SegmentedResult, error) {
+	out, _, err := SegmentationStudyStats(c, perOp, 0)
+	return out, err
+}
+
+// SegmentationStudyStats is SegmentationStudy with an explicit worker
+// count (<= 0 means GOMAXPROCS) and traversal statistics. The 2^(n-1)
+// segmentations are distributed across workers; fused sub-chain curves
+// are shared through a concurrency-safe memo so each [lo, hi) span is
+// derived exactly once no matter which workers need it. Results are
+// written by segmentation index, so the output order (and every curve in
+// it) is identical to a serial run.
+func SegmentationStudyStats(c *Chain, perOp []*pareto.Curve, workers int) ([]SegmentedResult, traverse.Stats, error) {
 	if len(perOp) != len(c.Ops) {
-		return nil, fmt.Errorf("fusion: SegmentationStudy: %d per-op curves for %d ops",
+		return nil, traverse.Stats{}, fmt.Errorf("fusion: SegmentationStudy: %d per-op curves for %d ops",
 			len(perOp), len(c.Ops))
 	}
-	// Cache fused sub-chain curves by span.
 	type span struct{ lo, hi int }
-	fusedCache := map[span]*pareto.Curve{}
+	var fused traverse.Memo[span, *pareto.Curve]
 	fusedFor := func(lo, hi int) (*pareto.Curve, error) {
-		key := span{lo, hi}
-		if cv, ok := fusedCache[key]; ok {
-			return cv, nil
-		}
-		cv, err := TiledFusion(c.Sub(lo, hi))
-		if err != nil {
-			return nil, err
-		}
-		fusedCache[key] = cv
-		return cv, nil
+		return fused.Do(span{lo, hi}, func() (*pareto.Curve, error) {
+			// Sub-chain sweeps stay serial: the outer study already
+			// saturates the workers, and nested fan-out would oversubscribe.
+			cv, _, err := TiledFusionStats(c.Sub(lo, hi), 1)
+			return cv, err
+		})
 	}
 
-	var out []SegmentedResult
-	for _, seg := range AllSegmentations(len(c.Ops)) {
+	segs := AllSegmentations(len(c.Ops))
+	out := make([]SegmentedResult, len(segs))
+	errs := make([]error, len(segs))
+	ts := traverse.Each(int64(len(segs)), workers, func(i int64) {
+		seg := segs[i]
 		var parts []*pareto.Curve
 		for _, sp := range seg.Segments(len(c.Ops)) {
 			if sp[1]-sp[0] == 1 {
@@ -95,26 +106,38 @@ func SegmentationStudy(c *Chain, perOp []*pareto.Curve) ([]SegmentedResult, erro
 			}
 			cv, err := fusedFor(sp[0], sp[1])
 			if err != nil {
-				return nil, err
+				errs[i] = err
+				return
 			}
 			parts = append(parts, cv)
 		}
-		curve := pareto.Sum(parts...)
-		out = append(out, SegmentedResult{
+		out[i] = SegmentedResult{
 			Segmentation: seg,
 			Label:        seg.render(len(c.Ops)),
-			Curve:        curve,
-		})
+			Curve:        pareto.Sum(parts...),
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, ts, err
+		}
 	}
-	return out, nil
+	return out, ts, nil
 }
 
 // BestSegmentation returns the capacity-wise best curve over all
 // segmentations (the yellow curve of Fig. 21).
 func BestSegmentation(c *Chain, perOp []*pareto.Curve) (*pareto.Curve, error) {
-	study, err := SegmentationStudy(c, perOp)
+	best, _, err := BestSegmentationStats(c, perOp, 0)
+	return best, err
+}
+
+// BestSegmentationStats is BestSegmentation with an explicit worker count
+// (<= 0 means GOMAXPROCS) and traversal statistics.
+func BestSegmentationStats(c *Chain, perOp []*pareto.Curve, workers int) (*pareto.Curve, traverse.Stats, error) {
+	study, ts, err := SegmentationStudyStats(c, perOp, workers)
 	if err != nil {
-		return nil, err
+		return nil, ts, err
 	}
 	curves := make([]*pareto.Curve, len(study))
 	for i, s := range study {
@@ -123,5 +146,5 @@ func BestSegmentation(c *Chain, perOp []*pareto.Curve) (*pareto.Curve, error) {
 	best := pareto.MergeMin(curves...)
 	best.AlgoMinBytes = c.FusedAlgoMinBytes()
 	best.TotalOperandBytes = c.UnfusedAlgoMinBytes()
-	return best, nil
+	return best, ts, nil
 }

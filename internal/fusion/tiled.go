@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/pareto"
 	"repro/internal/shape"
+	"repro/internal/traverse"
 )
 
 // TiledFusion derives the sequential tiled-fusion bound for a chain of at
@@ -26,16 +27,28 @@ import (
 // subset of weight-resident layers — is enumerated exhaustively and the
 // Pareto frontier returned (Sec. V-E).
 func TiledFusion(c *Chain) (*pareto.Curve, error) {
+	curve, _, err := TiledFusionStats(c, 0)
+	return curve, err
+}
+
+// TiledFusionStats is TiledFusion with an explicit worker count (<= 0
+// means GOMAXPROCS) and traversal statistics. The fused template space —
+// (M0, N2(0), weight-residency subset) triples — is flattened to one
+// index range and chunked across workers (see internal/traverse), so the
+// sweep scales with cores and the curve is byte-identical for every
+// worker count.
+func TiledFusionStats(c *Chain, workers int) (*pareto.Curve, traverse.Stats, error) {
 	if err := c.Validate(); err != nil {
-		return nil, err
+		return nil, traverse.Stats{}, err
 	}
 	if len(c.Ops) < 2 {
-		return nil, fmt.Errorf("fusion: TiledFusion needs >= 2 ops, chain %s has %d", c.Name, len(c.Ops))
+		return nil, traverse.Stats{}, fmt.Errorf("fusion: TiledFusion needs >= 2 ops, chain %s has %d", c.Name, len(c.Ops))
 	}
 
 	e0 := &c.Ops[0]
 	last := len(c.Ops) - 1
 
+	m0Options := shape.Divisors(c.M)
 	n2Options := shape.Divisors(e0.OutW)
 	if e0.NoOutputTiling {
 		n2Options = []int64{1}
@@ -45,47 +58,65 @@ func TiledFusion(c *Chain) (*pareto.Curve, error) {
 		lastTileOptions = []int64{1}
 	}
 
-	b := pareto.NewBuilder()
-	subsets := 1 << len(c.Ops)
-	for _, m0 := range shape.Divisors(c.M) {
-		m1 := c.M / m0
-		for _, n2 := range n2Options {
-			for f := 0; f < subsets; f++ {
-				acc, wbuf, feasibleW := weightTerms(c, m0, m1, f)
-				if !feasibleW {
-					continue
-				}
-				acc += shape.Product(n2, c.M, e0.InW)       // Access_I,0
-				acc += shape.Product(c.M, c.Ops[last].OutW) // Access_O,E-1
-				if e0.HaloRows > 0 && m1 > 1 {
-					// Sliding-window halo rows of the raw input are
-					// re-read once per additional traversal.
-					acc += shape.Product(n2, m1-1, e0.HaloRows, e0.InW)
-				}
-
-				// Mode A: the last op accumulates its full output row.
-				io := ioPeak(c, m0, n2, c.Ops[last].OutW)
-				b.Add((io+wbuf)*c.ElementSize, acc*c.ElementSize)
-
-				// Mode B: FFMT-TiledN on the last op. It needs the full
-				// input row resident, which for a two-op chain conflicts
-				// with op 0's output tiling unless N2(0) == 1.
-				if last >= 2 || n2 == 1 {
-					for _, lt := range lastTileOptions {
-						if lt == 1 {
-							continue // identical to mode A
-						}
-						ioB := ioPeak(c, m0, n2, c.Ops[last].OutW/lt)
-						b.Add((ioB+wbuf)*c.ElementSize, acc*c.ElementSize)
-					}
-				}
+	subsets := int64(1) << len(c.Ops)
+	items := int64(len(m0Options)) * int64(len(n2Options)) * subsets
+	curve, ts := traverse.Frontier(items, workers, func() traverse.ChunkFunc {
+		return func(lo, hi int64, b *pareto.Builder) int64 {
+			var count int64
+			for idx := lo; idx < hi; idx++ {
+				f := int(idx % subsets)
+				rest := idx / subsets
+				n2 := n2Options[rest%int64(len(n2Options))]
+				m0 := m0Options[rest/int64(len(n2Options))]
+				count += evalTemplate(c, b, m0, n2, f, lastTileOptions)
 			}
+			return count
 		}
-	}
-	curve := b.Curve()
+	})
 	curve.AlgoMinBytes = c.FusedAlgoMinBytes()
 	curve.TotalOperandBytes = c.UnfusedAlgoMinBytes()
-	return curve, nil
+	return curve, ts, nil
+}
+
+// evalTemplate evaluates one (M0, N2(0), residency subset) template point,
+// adding its mode-A and mode-B candidates to b, and returns the number of
+// candidates evaluated.
+func evalTemplate(c *Chain, b *pareto.Builder, m0, n2 int64, f int, lastTileOptions []int64) int64 {
+	e0 := &c.Ops[0]
+	last := len(c.Ops) - 1
+	m1 := c.M / m0
+
+	acc, wbuf, feasibleW := weightTerms(c, m0, m1, f)
+	if !feasibleW {
+		return 0
+	}
+	acc += shape.Product(n2, c.M, e0.InW)       // Access_I,0
+	acc += shape.Product(c.M, c.Ops[last].OutW) // Access_O,E-1
+	if e0.HaloRows > 0 && m1 > 1 {
+		// Sliding-window halo rows of the raw input are re-read once per
+		// additional traversal.
+		acc += shape.Product(n2, m1-1, e0.HaloRows, e0.InW)
+	}
+
+	// Mode A: the last op accumulates its full output row.
+	io := ioPeak(c, m0, n2, c.Ops[last].OutW)
+	b.Add((io+wbuf)*c.ElementSize, acc*c.ElementSize)
+	count := int64(1)
+
+	// Mode B: FFMT-TiledN on the last op. It needs the full input row
+	// resident, which for a two-op chain conflicts with op 0's output
+	// tiling unless N2(0) == 1.
+	if last >= 2 || n2 == 1 {
+		for _, lt := range lastTileOptions {
+			if lt == 1 {
+				continue // identical to mode A
+			}
+			ioB := ioPeak(c, m0, n2, c.Ops[last].OutW/lt)
+			b.Add((ioB+wbuf)*c.ElementSize, acc*c.ElementSize)
+			count++
+		}
+	}
+	return count
 }
 
 // weightTerms returns the weight access count and resident-weight buffer

@@ -156,6 +156,9 @@ type BlockStudy struct {
 // It is the heavyweight entry point: at full GPT-3-6.7b scale it runs a
 // few hundred thousand Snowcat evaluations plus the fused mapspace search.
 func NewBlockStudy(c Config, opts bound.Options) (*BlockStudy, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
@@ -163,11 +166,11 @@ func NewBlockStudy(c Config, opts bound.Options) (*BlockStudy, error) {
 	perOp := chain.PerOpCurves(opts)
 
 	chainUnfused := fusion.UnfusedCurve(perOp)
-	chainFused, err := fusion.TiledFusion(chain)
+	chainFused, _, err := fusion.TiledFusionStats(chain, opts.Workers)
 	if err != nil {
 		return nil, err
 	}
-	chainSegmented, err := fusion.BestSegmentation(chain, perOp)
+	chainSegmented, _, err := fusion.BestSegmentationStats(chain, perOp, opts.Workers)
 	if err != nil {
 		return nil, err
 	}

@@ -56,39 +56,6 @@ func ImperfectCandidates(n int64, extra int) []int64 {
 // Inner*Outer > shape (the last tile is partial). The Mapping value is
 // reused across visits.
 func SpaceImperfect(e *einsum.Einsum, extra int, visit func(*Mapping)) {
-	n := len(e.Ranks)
-	if n == 0 {
-		return
-	}
-	rankNames := make([]string, n)
-	options := make([][]shape.Split, n)
-	for i, r := range e.Ranks {
-		rankNames[i] = r.Name
-		cands := ImperfectCandidates(r.Shape, extra)
-		sp := make([]shape.Split, len(cands))
-		for j, c := range cands {
-			sp[j] = shape.Split{Inner: c, Outer: shape.CeilDiv(r.Shape, c)}
-		}
-		options[i] = sp
-	}
-
-	m := &Mapping{Splits: make(map[string]shape.Split, n)}
-	idx := make([]int, n)
-	for {
-		for i, r := range rankNames {
-			m.Splits[r] = options[i][idx[i]]
-		}
-		emitPermutations(m, rankNames, visit)
-		i := n - 1
-		for ; i >= 0; i-- {
-			idx[i]++
-			if idx[i] < len(options[i]) {
-				break
-			}
-			idx[i] = 0
-		}
-		if i < 0 {
-			return
-		}
-	}
+	en := NewImperfectEnum(e, extra)
+	en.Visit(0, en.Tilings(), visit)
 }

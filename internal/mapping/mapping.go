@@ -101,12 +101,8 @@ func (m *Mapping) String() string {
 // no-ops in the data movement model), which keeps the traversal close to
 // the number of *distinct* mappings.
 func Space(e *einsum.Einsum, visit func(*Mapping)) {
-	if len(e.Ranks) == 0 {
-		return
-	}
-	for _, s := range shape.Splits(e.Ranks[0].Shape) {
-		SpacePinned(e, s, visit)
-	}
+	en := NewEnum(e)
+	en.Visit(0, en.Tilings(), visit)
 }
 
 // emitPermutations calls visit once per distinct outer-loop order for the

@@ -254,6 +254,30 @@ func Sum(curves ...*Curve) *Curve {
 	return out
 }
 
+// Union merges the points of several curves into a single Pareto frontier
+// — the reduction step of a parallel traversal, where each worker built a
+// frontier over its share of the mapspace. Because dominance over the
+// union is what frontier computes, the result is identical to building
+// one frontier over all underlying points, regardless of how they were
+// partitioned. nil curves are skipped. Annotations are not merged: the
+// partial curves describe shares of one workload, so callers annotate the
+// merged curve themselves.
+func Union(curves ...*Curve) *Curve {
+	total := 0
+	for _, c := range curves {
+		if c != nil {
+			total += len(c.pts)
+		}
+	}
+	pts := make([]Point, 0, total)
+	for _, c := range curves {
+		if c != nil {
+			pts = append(pts, c.pts...)
+		}
+	}
+	return &Curve{pts: frontier(pts)}
+}
+
 // MergeMin composes alternatives (e.g. different segmentation strategies):
 // at every capacity the best alternative is chosen. Annotations are taken
 // from the first curve.

@@ -2,6 +2,7 @@ package pareto
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -199,6 +200,76 @@ func TestBuilderCompaction(t *testing.T) {
 		if !ok || acc > p.acc {
 			t.Fatalf("raw point (%d,%d) beats the frontier (%d,%v)", p.buf, p.acc, acc, ok)
 		}
+	}
+}
+
+func TestBuilderKeepsHugeAllOptimalFrontier(t *testing.T) {
+	// Adversarial input for the on-the-fly compaction: more Pareto-optimal
+	// points than the initial capLimit (1 << 14). Compaction cannot shrink
+	// the slice, so the Builder must raise its threshold instead of
+	// thrashing — and every point must survive to the final curve.
+	const n = (1 << 14) + 1000
+	b := NewBuilder()
+	for i := int64(0); i < n; i++ {
+		b.Add(i+1, n-i)
+	}
+	c := b.Curve()
+	if c.Len() != n {
+		t.Fatalf("frontier has %d points, want all %d (all were Pareto-optimal)", c.Len(), n)
+	}
+	pts := c.Points()
+	for i := int64(0); i < n; i++ {
+		if pts[i] != (Point{i + 1, n - i}) {
+			t.Fatalf("point %d = %v, want {%d %d}", i, pts[i], i+1, n-i)
+		}
+	}
+}
+
+func TestUnionMatchesSerialUnderConcurrency(t *testing.T) {
+	// N goroutines each build a frontier over a shard of one point set;
+	// Union of the partial curves must equal the frontier built serially
+	// over all points — the invariant parallel traversal rests on.
+	rng := rand.New(rand.NewSource(7))
+	const total, shards = 40000, 8
+	all := make([]Point, total)
+	for i := range all {
+		all[i] = Point{rng.Int63n(1<<16) + 1, rng.Int63n(1<<24) + 1}
+	}
+	curves := make([]*Curve, shards)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			b := NewBuilder()
+			for i := s; i < total; i += shards {
+				b.Add(all[i].BufferBytes, all[i].AccessBytes)
+			}
+			curves[s] = b.Curve()
+		}(s)
+	}
+	wg.Wait()
+	got := Union(curves...)
+	want := FromPoints(all)
+	gp, wp := got.Points(), want.Points()
+	if len(gp) != len(wp) {
+		t.Fatalf("union has %d points, serial reference %d", len(gp), len(wp))
+	}
+	for i := range wp {
+		if gp[i] != wp[i] {
+			t.Fatalf("point %d: union %v, serial %v", i, gp[i], wp[i])
+		}
+	}
+}
+
+func TestUnionSkipsNilAndEmpty(t *testing.T) {
+	a := buildCurve(Point{100, 1000}, Point{200, 500})
+	got := Union(nil, a, &Curve{}, nil)
+	if got.Len() != a.Len() {
+		t.Fatalf("union = %v", got.Points())
+	}
+	if Union().Len() != 0 {
+		t.Fatal("empty union should be empty")
 	}
 }
 

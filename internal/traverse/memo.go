@@ -1,0 +1,45 @@
+package traverse
+
+import "sync"
+
+// Memo is a concurrency-safe memoization table: for each key the compute
+// function runs exactly once, even when many workers ask for the same key
+// simultaneously; later callers block until the first computation
+// finishes and then share its result (and its error). It replaces the
+// plain maps that made serial caches unshareable across workers.
+//
+// The zero value is ready to use.
+type Memo[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*memoEntry[V]
+}
+
+type memoEntry[V any] struct {
+	once sync.Once
+	val  V
+	err  error
+}
+
+// Do returns the memoized value for key, computing it with compute on
+// first use. Errors are memoized too: a failed computation is not retried.
+func (m *Memo[K, V]) Do(key K, compute func() (V, error)) (V, error) {
+	m.mu.Lock()
+	if m.m == nil {
+		m.m = make(map[K]*memoEntry[V])
+	}
+	e, ok := m.m[key]
+	if !ok {
+		e = &memoEntry[V]{}
+		m.m[key] = e
+	}
+	m.mu.Unlock()
+	e.once.Do(func() { e.val, e.err = compute() })
+	return e.val, e.err
+}
+
+// Len returns the number of memoized keys.
+func (m *Memo[K, V]) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.m)
+}

@@ -1,0 +1,195 @@
+// Package traverse is the shared parallel-traversal substrate of the
+// Orojenesis flow. Every exhaustive derivation in this repo — the perfect-
+// and imperfect-factor Snowcat searches, the fused-template sweep, and the
+// 2^(E-1) segmentation study — reduces to the same shape of work: an
+// index-addressable enumeration whose per-index results feed a Pareto
+// frontier (or an output slot keyed by index). This package distributes
+// such enumerations across workers in dynamically grabbed contiguous
+// chunks, gives each worker a private pareto.Builder, and merges the
+// per-worker frontiers at the end.
+//
+// Chunked index distribution — rather than sharding by the factor
+// structure of one rank — means utilization scales with GOMAXPROCS
+// regardless of the divisor counts of any particular dimension, and the
+// dynamic grab balances chunks whose per-index cost is irregular.
+//
+// Because the Pareto frontier is insensitive to insertion order (merging
+// never resurrects a dominated point and never drops a non-dominated one),
+// the merged curve is byte-identical to a serial traversal's for any
+// worker count.
+package traverse
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/pareto"
+)
+
+// chunksPerWorker sets the granularity of the dynamic distribution: the
+// index space is cut into about this many chunks per worker, so stragglers
+// (chunks whose indices happen to be expensive) cost at most ~1/chunksPer-
+// Worker of a worker's share of imbalance.
+const chunksPerWorker = 16
+
+// Stats reports what a traversal actually did, feeding the Table I runtime
+// comparison and the cmd tools' -stats output.
+type Stats struct {
+	Workers   int           // workers actually launched
+	Items     int64         // enumeration indices processed
+	Evaluated int64         // points evaluated, as reported by chunk funcs
+	Elapsed   time.Duration
+}
+
+// PerSec returns the evaluation throughput in points per second.
+func (s Stats) PerSec() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Evaluated) / s.Elapsed.Seconds()
+}
+
+// Phase is one timed stage of a multi-phase study (e.g. per-op curves,
+// template sweep, segmentation), surfaced by the cmd tools behind -stats.
+type Phase struct {
+	Name      string
+	Evaluated int64
+	Workers   int
+	Elapsed   time.Duration
+}
+
+// PerSec returns the phase's evaluation throughput in points per second.
+func (p Phase) PerSec() float64 {
+	return Stats{Evaluated: p.Evaluated, Elapsed: p.Elapsed}.PerSec()
+}
+
+// ResolveWorkers maps a Workers option to a concrete count: values <= 0
+// mean GOMAXPROCS.
+func ResolveWorkers(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// ChunkFunc processes the enumeration indices [lo, hi), adding frontier
+// candidates to b, and returns the number of points it evaluated.
+type ChunkFunc func(lo, hi int64, b *pareto.Builder) int64
+
+// Frontier distributes the index range [0, items) over workers and merges
+// the per-worker Pareto frontiers. newWorker is called once per worker to
+// build its chunk function, so per-worker state (an evaluator, a reusable
+// mapping) lives in the closure without synchronization. The result is
+// byte-identical for every worker count.
+func Frontier(items int64, workers int, newWorker func() ChunkFunc) (*pareto.Curve, Stats) {
+	start := time.Now()
+	w := clampWorkers(workers, items)
+	if items <= 0 {
+		return &pareto.Curve{}, Stats{Elapsed: time.Since(start)}
+	}
+	if w == 1 {
+		// Serial fast path: no goroutine, no merge.
+		b := pareto.NewBuilder()
+		n := newWorker()(0, items, b)
+		return b.Curve(), Stats{Workers: 1, Items: items, Evaluated: n, Elapsed: time.Since(start)}
+	}
+
+	chunk := chunkSize(items, w)
+	var next atomic.Int64
+	curves := make([]*pareto.Curve, w)
+	counts := make([]int64, w)
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fn := newWorker()
+			b := pareto.NewBuilder()
+			var n int64
+			for {
+				lo := next.Add(chunk) - chunk
+				if lo >= items {
+					break
+				}
+				hi := lo + chunk
+				if hi > items {
+					hi = items
+				}
+				n += fn(lo, hi, b)
+			}
+			curves[i] = b.Curve()
+			counts[i] = n
+		}(i)
+	}
+	wg.Wait()
+
+	var total int64
+	for _, n := range counts {
+		total += n
+	}
+	return pareto.Union(curves...), Stats{
+		Workers: w, Items: items, Evaluated: total, Elapsed: time.Since(start),
+	}
+}
+
+// Each runs fn(i) for every index in [0, items) across workers. fn must be
+// safe for concurrent invocation on distinct indices; writing to
+// index-keyed slots of a pre-sized slice keeps results deterministic.
+func Each(items int64, workers int, fn func(i int64)) Stats {
+	start := time.Now()
+	w := clampWorkers(workers, items)
+	if items <= 0 {
+		return Stats{Elapsed: time.Since(start)}
+	}
+	if w == 1 {
+		for i := int64(0); i < items; i++ {
+			fn(i)
+		}
+		return Stats{Workers: 1, Items: items, Evaluated: items, Elapsed: time.Since(start)}
+	}
+	chunk := chunkSize(items, w)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo := next.Add(chunk) - chunk
+				if lo >= items {
+					break
+				}
+				hi := lo + chunk
+				if hi > items {
+					hi = items
+				}
+				for j := lo; j < hi; j++ {
+					fn(j)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return Stats{Workers: w, Items: items, Evaluated: items, Elapsed: time.Since(start)}
+}
+
+func clampWorkers(workers int, items int64) int {
+	w := ResolveWorkers(workers)
+	if int64(w) > items {
+		w = int(items)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+func chunkSize(items int64, workers int) int64 {
+	c := items / int64(workers*chunksPerWorker)
+	if c < 1 {
+		c = 1
+	}
+	return c
+}

@@ -1,0 +1,194 @@
+package traverse
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/pareto"
+)
+
+// synthetic maps an index to a (buffer, accesses) pair with many distinct
+// Pareto-optimal points, so merge mistakes show up as curve differences.
+func synthetic(i int64) (int64, int64) {
+	buf := (i*2654435761)%100000 + 1
+	return buf, 200000 - buf
+}
+
+func syntheticWorker() ChunkFunc {
+	return func(lo, hi int64, b *pareto.Builder) int64 {
+		for i := lo; i < hi; i++ {
+			buf, acc := synthetic(i)
+			b.Add(buf, acc)
+		}
+		return hi - lo
+	}
+}
+
+func TestFrontierCoversEveryIndexOnce(t *testing.T) {
+	const items = 10000
+	var visits [items]atomic.Int32
+	_, stats := Frontier(items, 8, func() ChunkFunc {
+		return func(lo, hi int64, b *pareto.Builder) int64 {
+			for i := lo; i < hi; i++ {
+				visits[i].Add(1)
+			}
+			return hi - lo
+		}
+	})
+	for i := range visits {
+		if n := visits[i].Load(); n != 1 {
+			t.Fatalf("index %d visited %d times", i, n)
+		}
+	}
+	if stats.Items != items || stats.Evaluated != items {
+		t.Fatalf("stats = %+v, want Items=Evaluated=%d", stats, items)
+	}
+	if stats.Workers < 2 && runtime.GOMAXPROCS(0) > 1 {
+		t.Fatalf("expected parallel workers, got %d", stats.Workers)
+	}
+}
+
+func TestFrontierMatchesSerialForAnyWorkerCount(t *testing.T) {
+	const items = 50000
+	serial, st := Frontier(items, 1, syntheticWorker)
+	if st.Workers != 1 {
+		t.Fatalf("serial run used %d workers", st.Workers)
+	}
+	for _, w := range []int{2, 3, 4, 7, 16} {
+		par, pst := Frontier(items, w, syntheticWorker)
+		if pst.Evaluated != items {
+			t.Fatalf("workers=%d evaluated %d, want %d", w, pst.Evaluated, items)
+		}
+		sp, pp := serial.Points(), par.Points()
+		if len(sp) != len(pp) {
+			t.Fatalf("workers=%d: %d points vs serial %d", w, len(pp), len(sp))
+		}
+		for i := range sp {
+			if sp[i] != pp[i] {
+				t.Fatalf("workers=%d: point %d differs: %v vs %v", w, i, pp[i], sp[i])
+			}
+		}
+	}
+}
+
+func TestFrontierZeroItems(t *testing.T) {
+	c, stats := Frontier(0, 4, syntheticWorker)
+	if !c.Empty() {
+		t.Fatal("zero items should yield an empty curve")
+	}
+	if stats.Items != 0 || stats.Evaluated != 0 || stats.Workers != 0 {
+		t.Fatalf("stats = %+v, want zeros", stats)
+	}
+}
+
+func TestFrontierClampsWorkersToItems(t *testing.T) {
+	_, stats := Frontier(3, 64, syntheticWorker)
+	if stats.Workers > 3 {
+		t.Fatalf("launched %d workers for 3 items", stats.Workers)
+	}
+}
+
+func TestEachCoversEveryIndexOnce(t *testing.T) {
+	const items = 4096
+	var visits [items]atomic.Int32
+	stats := Each(items, 8, func(i int64) { visits[i].Add(1) })
+	for i := range visits {
+		if n := visits[i].Load(); n != 1 {
+			t.Fatalf("index %d visited %d times", i, n)
+		}
+	}
+	if stats.Items != items {
+		t.Fatalf("stats.Items = %d", stats.Items)
+	}
+}
+
+func TestEachSerialOrder(t *testing.T) {
+	var got []int64
+	Each(5, 1, func(i int64) { got = append(got, i) })
+	for i, v := range got {
+		if int64(i) != v {
+			t.Fatalf("serial Each out of order: %v", got)
+		}
+	}
+}
+
+func TestResolveWorkers(t *testing.T) {
+	if ResolveWorkers(0) != runtime.GOMAXPROCS(0) {
+		t.Fatal("0 should resolve to GOMAXPROCS")
+	}
+	if ResolveWorkers(-1) != runtime.GOMAXPROCS(0) {
+		t.Fatal("negative should resolve to GOMAXPROCS")
+	}
+	if ResolveWorkers(3) != 3 {
+		t.Fatal("positive should pass through")
+	}
+}
+
+func TestMemoComputesOncePerKey(t *testing.T) {
+	var m Memo[int, int]
+	var computes atomic.Int32
+	const goroutines = 32
+	var wg sync.WaitGroup
+	results := make([]int, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			v, err := m.Do(7, func() (int, error) {
+				computes.Add(1)
+				return 42, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[g] = v
+		}(g)
+	}
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times for one key", n)
+	}
+	for _, v := range results {
+		if v != 42 {
+			t.Fatalf("stale result %d", v)
+		}
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}
+
+func TestMemoMemoizesErrors(t *testing.T) {
+	var m Memo[string, int]
+	var computes atomic.Int32
+	boom := errors.New("boom")
+	fail := func() (int, error) {
+		computes.Add(1)
+		return 0, boom
+	}
+	if _, err := m.Do("k", fail); !errors.Is(err, boom) {
+		t.Fatalf("first Do: err = %v", err)
+	}
+	if _, err := m.Do("k", fail); !errors.Is(err, boom) {
+		t.Fatalf("second Do: err = %v", err)
+	}
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("failed compute retried: ran %d times", n)
+	}
+}
+
+func TestMemoDistinctKeys(t *testing.T) {
+	var m Memo[int, int]
+	for i := 0; i < 10; i++ {
+		v, err := m.Do(i, func() (int, error) { return i * i, nil })
+		if err != nil || v != i*i {
+			t.Fatalf("Do(%d) = (%d, %v)", i, v, err)
+		}
+	}
+	if m.Len() != 10 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}
