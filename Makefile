@@ -2,7 +2,8 @@
 # concurrent traversal code.
 
 RACE_PKGS := ./internal/bound ./internal/pareto ./internal/fusion \
-             ./internal/traverse ./internal/mapping
+             ./internal/traverse ./internal/mapping \
+             ./internal/multilevel ./internal/simba
 
 .PHONY: all vet build test race ci
 

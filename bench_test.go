@@ -476,7 +476,7 @@ func BenchmarkFig24c_FusedValidation(b *testing.B) {
 		g := simba.GEMM{M: side, K: side, N: side}
 		rows := ""
 		for _, gb := range []int64{32 << 10, 512 << 10} {
-			best := simba.SearchBest(g, simba.Default(gb))
+			best := simba.SearchBest(g, simba.Default(gb), simba.Options{})
 			measured := 2 * best.BestDRAMBytes
 			bnd, ok := unfusedBound.AccessesAt(gb)
 			if ok && measured < bnd {
@@ -510,7 +510,7 @@ func BenchmarkTable1_RuntimeComparison(b *testing.B) {
 		}
 		var totalMappings int64
 		var totalSecs float64
-		for _, r := range simba.DSE(g, gbSizes) {
+		for _, r := range simba.DSE(g, gbSizes, simba.Options{}) {
 			totalMappings += r.MappingsEvaluated
 			totalSecs += r.Elapsed.Seconds()
 		}

@@ -36,6 +36,8 @@ func main() {
 	table1 := flag.Bool("table1", false, "Table I runtime comparison")
 	belady := flag.Bool("belady", false, "Sec. II motivation: Belady vs the mapping-independent bound")
 	side := flag.Int64("side", 256, "GEMM side for trace-driven studies (scaled from the paper's 4k)")
+	workers := flag.Int("workers", 0, "parallel evaluation goroutines for Simba searches (0 = GOMAXPROCS)")
+	stats := flag.Bool("stats", false, "print traversal statistics (workers used, mappings/sec)")
 	flag.Parse()
 
 	if !*fig2 && !*fig24a && !*fig24b && !*fig24c && !*table1 && !*belady {
@@ -50,14 +52,15 @@ func main() {
 	if *fig24a {
 		runFig24a(*side)
 	}
+	opts := simba.Options{Workers: *workers}
 	if *fig24b {
-		runFig24b()
+		runFig24b(opts)
 	}
 	if *fig24c {
-		runFig24c()
+		runFig24c(opts)
 	}
 	if *table1 {
-		runTable1()
+		runTable1(opts, *stats)
 	}
 }
 
@@ -168,7 +171,7 @@ func runFig24a(side int64) {
 
 // runFig24b sweeps Simba Global-Buffer sizes and verifies every mapping's
 // DRAM accesses sit above the bound.
-func runFig24b() {
+func runFig24b(opts simba.Options) {
 	const side = 256
 	fmt.Printf("== Fig. 24b: Simba mappings vs Orojenesis bound (%[1]dx%[1]dx%[1]d GEMM) ==\n", side)
 	e := einsum.GEMM("g", side, side, side)
@@ -176,7 +179,7 @@ func runFig24b() {
 	g := simba.GEMM{M: side, K: side, N: side}
 	for _, gb := range []int64{128, 2048, 32 << 10, 128 << 10, 512 << 10} {
 		arch := simba.Default(gb)
-		best := simba.SearchBest(g, arch)
+		best := simba.SearchBest(g, arch, opts)
 		violations := 0
 		total := 0
 		simba.Mapspace(g, arch, func(m *simba.Mapping) {
@@ -194,7 +197,7 @@ func runFig24b() {
 
 // runFig24c compares fused and unfused execution of two 1k GEMMs: bounds
 // from the fusion engine vs measured Simba schedules.
-func runFig24c() {
+func runFig24c(opts simba.Options) {
 	fmt.Println("== Fig. 24c: fused two-GEMM chain, bounds vs Simba points ==")
 	const side = 1024
 	chain := fusion.MustChain("pair", side,
@@ -211,7 +214,7 @@ func runFig24c() {
 	// Measured unfused points: best Simba mapping per GEMM, summed.
 	g := simba.GEMM{M: side, K: side, N: side}
 	for _, gb := range []int64{32 << 10, 128 << 10, 512 << 10} {
-		best := simba.SearchBest(g, simba.Default(gb))
+		best := simba.SearchBest(g, simba.Default(gb), opts)
 		measured := 2 * best.BestDRAMBytes
 		bnd, ok := unfusedBound.AccessesAt(gb)
 		fmt.Printf("unfused @GB %8s: measured %12s, bound %12s (ok=%v, above=%v)\n",
@@ -274,8 +277,10 @@ func runBelady() {
 }
 
 // runTable1 reproduces the Table I runtime comparison: one Orojenesis run
-// vs an exhaustive Simba DSE across Global-Buffer capacities.
-func runTable1() {
+// vs an exhaustive Simba DSE across Global-Buffer capacities. With
+// showStats, per-traversal statistics from the shared engine (workers
+// launched, mappings/sec) are printed for both sides.
+func runTable1(opts simba.Options, showStats bool) {
 	fmt.Println("== Table I: Orojenesis vs Simba DSE runtime ==")
 	const side = 1024
 	designs := 20
@@ -290,9 +295,14 @@ func runTable1() {
 	}
 	var totalMappings int64
 	var totalElapsed float64
-	for _, r := range simba.DSE(g, gbSizes) {
+	simbaWorkers := 0
+	results := simba.DSE(g, gbSizes, opts)
+	for _, r := range results {
 		totalMappings += r.MappingsEvaluated
 		totalElapsed += r.Elapsed.Seconds()
+		if r.Workers > simbaWorkers {
+			simbaWorkers = r.Workers
+		}
 	}
 
 	oroPer := oro.Stats.Elapsed.Seconds() / float64(oro.Stats.MappingsEvaluated) * 1e3
@@ -306,5 +316,13 @@ func runTable1() {
 		float64(totalMappings)/float64(oro.Stats.MappingsEvaluated),
 		simbaPer/oroPer,
 		totalElapsed/oro.Stats.Elapsed.Seconds())
+	if showStats {
+		fmt.Printf("Simba DSE traversal: %d workers, %.0f mappings/sec\n",
+			simbaWorkers, float64(totalMappings)/totalElapsed)
+		for _, r := range results {
+			fmt.Printf("  GB %10s: %8d mappings, %d workers, %12.0f mappings/sec\n",
+				shape.FormatBytes(r.Arch.GBBytes), r.MappingsEvaluated, r.Workers, r.MappingsPerSec())
+		}
+	}
 	fmt.Println()
 }

@@ -1,0 +1,30 @@
+package multilevel
+
+import (
+	"testing"
+
+	"repro/internal/einsum"
+)
+
+// BenchmarkDerive measures the three-level traversal. The serial variant
+// tracks the per-combination footprint hoisting (footprints are computed
+// once per tile choice, not once per loop-order pair); the parallel
+// variant tracks the traversal engine's scaling.
+func BenchmarkDerive(b *testing.B) {
+	g := einsum.GEMM("g", 32, 32, 32)
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", 0},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Derive(g, 512, Options{Workers: bc.workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

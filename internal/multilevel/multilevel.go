@@ -11,15 +11,33 @@
 // curve is therefore at least as high as the two-level curve (it carries
 // the extra inner-level constraint), and the gap measures the composed
 // probe's optimism.
+//
+// The traversal runs on the shared engine (internal/traverse): the
+// three-split combinations form a flat index space chunked across workers,
+// with the loop-order permutations expanded per combination inside each
+// chunk; per-worker Pareto builders and joint-entry tables are merged
+// after the traversal, so the curves and MinL2GivenOptimalDRAM answers are
+// byte-identical for every worker count. Transfer counts instantiate the
+// shared product rule (internal/nest) on the composite outer+mid nest.
 package multilevel
 
 import (
 	"fmt"
 
 	"repro/internal/einsum"
+	"repro/internal/nest"
 	"repro/internal/pareto"
 	"repro/internal/shape"
+	"repro/internal/traverse"
 )
+
+// Options tunes the three-level traversal.
+type Options struct {
+	// Workers sets the number of parallel evaluation goroutines.
+	// Zero (or negative) means GOMAXPROCS. Results are identical for
+	// every worker count.
+	Workers int
+}
 
 // Result bundles the three-level bounds for one L1 capacity.
 type Result struct {
@@ -34,6 +52,9 @@ type Result struct {
 	// Mappings is the number of three-level mappings evaluated.
 	Mappings int64
 
+	// Stats reports what the traversal did (workers launched, throughput).
+	Stats traverse.Stats
+
 	// joint tracks, per L2 footprint, the best DRAM traffic and the best
 	// L2 traffic among mappings achieving that DRAM traffic — the data
 	// behind MinL2GivenOptimalDRAM.
@@ -45,11 +66,26 @@ type jointEntry struct {
 	l2   int64
 }
 
+// better reports whether candidate (dram, l2) improves on je under the
+// joint criterion: minimal DRAM traffic first, then minimal L2 traffic
+// among DRAM-ties. The rule is commutative, so per-worker tables merge to
+// the same result in any order.
+func (je jointEntry) better(dram, l2 int64) bool {
+	return dram < je.dram || (dram == je.dram && l2 < je.l2)
+}
+
+// derState is one worker's share of the traversal output.
+type derState struct {
+	dramB *pareto.Builder
+	l2B   *pareto.Builder
+	joint map[int64]jointEntry
+}
+
 // Derive exhaustively walks the three-level mapspace of e. Only mappings
 // whose L1 footprint fits l1CapBytes are kept. Intended for moderate
 // shapes: the space grows with the cube of the per-rank three-split
 // counts.
-func Derive(e *einsum.Einsum, l1CapBytes int64) (*Result, error) {
+func Derive(e *einsum.Einsum, l1CapBytes int64, opts Options) (*Result, error) {
 	if err := e.Validate(); err != nil {
 		return nil, err
 	}
@@ -60,141 +96,134 @@ func Derive(e *einsum.Einsum, l1CapBytes int64) (*Result, error) {
 	n := len(e.Ranks)
 	names := make([]string, n)
 	options := make([][]shape.ThreeSplit, n)
+	combos := int64(1)
 	for i, r := range e.Ranks {
 		names[i] = r.Name
 		options[i] = shape.ThreeSplits(r.Shape)
+		combos *= int64(len(options[i]))
 	}
 
-	type tensorInfo struct {
-		t      *einsum.Tensor
-		output bool
-	}
-	tensors := make([]tensorInfo, len(e.Tensors))
+	tensors := make([]*einsum.Tensor, len(e.Tensors))
 	for i := range e.Tensors {
-		tensors[i] = tensorInfo{t: &e.Tensors[i], output: e.Tensors[i].Output}
+		tensors[i] = &e.Tensors[i]
 	}
-
-	dramB := pareto.NewBuilder()
-	l2B := pareto.NewBuilder()
-	res := &Result{L1CapacityBytes: l1CapBytes, joint: map[int64]jointEntry{}}
 	es := e.ElementSize
-
-	tiles0 := map[string]int64{}
-	tiles1 := map[string]int64{}
-	boundsMid := map[string]int64{}
-	boundsOut := map[string]int64{}
-
-	idx := make([]int, n)
 	perms := shape.Permutations(n)
-	for {
-		feasible := true
-		for i, name := range names {
-			ts := options[i][idx[i]]
-			tiles0[name] = ts.L0
-			tiles1[name] = ts.L0 * ts.L1
-			boundsMid[name] = ts.L1
-			boundsOut[name] = ts.L2
-		}
-		var buf1, buf2 int64
-		for _, ti := range tensors {
-			buf1 += e.Footprint(ti.t, tiles0)
-			buf2 += e.Footprint(ti.t, tiles1)
-		}
-		if buf1*es > l1CapBytes {
-			feasible = false
-		}
 
-		if feasible {
-			// Orders: outer (DRAM-level) and mid (L2-level) loop nests.
-			for _, pOut := range perms {
-				outOrder := permNames(names, pOut)
-				var dram int64
-				for _, ti := range tensors {
-					dram += e.Footprint(ti.t, tiles1) *
-						iterations(ti.t, outOrder, nil, boundsOut, nil)
+	w := traverse.WorkerCount(combos, opts.Workers)
+	states := make([]*derState, w)
+	stats := traverse.Partition(combos, w, func(wi int) traverse.RangeFunc {
+		st := &derState{
+			dramB: pareto.NewBuilder(),
+			l2B:   pareto.NewBuilder(),
+			joint: map[int64]jointEntry{},
+		}
+		states[wi] = st
+
+		// Per-worker scratch, reused across the worker's chunks.
+		tiles0 := map[string]int64{}
+		tiles1 := map[string]int64{}
+		boundsMid := map[string]int64{}
+		boundsOut := map[string]int64{}
+		idx := make([]int, n)
+		fp0 := make([]int64, len(tensors))
+		fp1 := make([]int64, len(tensors))
+		loops := make([]nest.Loop, 2*n) // outer nest, then mid nest
+
+		return func(lo, hi int64) int64 {
+			// Decode lo into mixed-radix digits (last rank fastest), then
+			// advance odometer-style — the serial enumeration order.
+			rem := lo
+			for i := n - 1; i >= 0; i-- {
+				k := int64(len(options[i]))
+				idx[i] = int(rem % k)
+				rem /= k
+			}
+			var count int64
+			for flat := lo; flat < hi; flat++ {
+				for i, name := range names {
+					ts := options[i][idx[i]]
+					tiles0[name] = ts.L0
+					tiles1[name] = ts.L0 * ts.L1
+					boundsMid[name] = ts.L1
+					boundsOut[name] = ts.L2
 				}
-				for _, pMid := range perms {
-					midOrder := permNames(names, pMid)
-					var l2traffic int64
-					for _, ti := range tensors {
-						l2traffic += e.Footprint(ti.t, tiles0) *
-							iterations(ti.t, outOrder, midOrder, boundsOut, boundsMid)
-					}
-					res.Mappings++
-					dramB.Add(buf2*es, dram*es)
-					l2B.Add(buf2*es, l2traffic*es)
+				// Footprints are per-tile-choice, not per-order: compute
+				// them once per combination, outside the permutation loops.
+				var buf1, buf2 int64
+				for i, t := range tensors {
+					fp0[i] = e.Footprint(t, tiles0)
+					fp1[i] = e.Footprint(t, tiles1)
+					buf1 += fp0[i]
+					buf2 += fp1[i]
+				}
+				if buf1*es <= l1CapBytes {
 					key := buf2 * es
-					je, ok := res.joint[key]
-					switch {
-					case !ok || dram*es < je.dram:
-						res.joint[key] = jointEntry{dram: dram * es, l2: l2traffic * es}
-					case dram*es == je.dram && l2traffic*es < je.l2:
-						je.l2 = l2traffic * es
-						res.joint[key] = je
+					// Orders: outer (DRAM-level) enclosing mid (L2-level).
+					for _, pOut := range perms {
+						for i, p := range pOut {
+							loops[i] = nest.Loop{Rank: names[p], Bound: boundsOut[names[p]]}
+						}
+						var dram int64
+						for i, t := range tensors {
+							dram += fp1[i] * nest.Iterations(loops[:n], t.Relevant)
+						}
+						st.dramB.Add(key, dram*es)
+						for _, pMid := range perms {
+							for i, p := range pMid {
+								loops[n+i] = nest.Loop{Rank: names[p], Bound: boundsMid[names[p]]}
+							}
+							var l2traffic int64
+							for i, t := range tensors {
+								l2traffic += fp0[i] * nest.Iterations(loops, t.Relevant)
+							}
+							count++
+							st.l2B.Add(key, l2traffic*es)
+							je, ok := st.joint[key]
+							if !ok || je.better(dram*es, l2traffic*es) {
+								st.joint[key] = jointEntry{dram: dram * es, l2: l2traffic * es}
+							}
+						}
 					}
 				}
+				for i := n - 1; i >= 0; i-- {
+					idx[i]++
+					if idx[i] < len(options[i]) {
+						break
+					}
+					idx[i] = 0
+				}
 			}
+			return count
 		}
+	})
 
-		i := n - 1
-		for ; i >= 0; i-- {
-			idx[i]++
-			if idx[i] < len(options[i]) {
-				break
-			}
-			idx[i] = 0
+	// Merge the per-worker frontiers and joint tables. Pareto union and
+	// the joint min-rule are both insensitive to merge order, so the
+	// result matches a serial traversal exactly.
+	res := &Result{L1CapacityBytes: l1CapBytes, joint: map[int64]jointEntry{}, Stats: stats}
+	res.Mappings = stats.Evaluated
+	dramCurves := make([]*pareto.Curve, 0, len(states))
+	l2Curves := make([]*pareto.Curve, 0, len(states))
+	for _, st := range states {
+		if st == nil {
+			continue
 		}
-		if i < 0 {
-			break
+		dramCurves = append(dramCurves, st.dramB.Curve())
+		l2Curves = append(l2Curves, st.l2B.Curve())
+		for key, je := range st.joint {
+			if got, ok := res.joint[key]; !ok || got.better(je.dram, je.l2) {
+				res.joint[key] = je
+			}
 		}
 	}
-
-	res.DRAM = dramB.Curve()
+	res.DRAM = pareto.Union(dramCurves...)
 	res.DRAM.AlgoMinBytes = e.AlgorithmicMinBytes()
 	res.DRAM.TotalOperandBytes = e.TotalOperandBytes()
-	res.L2 = l2B.Curve()
+	res.L2 = pareto.Union(l2Curves...)
 	res.L2.AlgoMinBytes = e.AlgorithmicMinBytes()
 	res.L2.TotalOperandBytes = e.TotalOperandBytes()
 	return res, nil
-}
-
-func permNames(names []string, perm []int) []string {
-	out := make([]string, len(perm))
-	for i, p := range perm {
-		out[i] = names[p]
-	}
-	return out
-}
-
-// iterations applies the Snowcat product rule over a composite loop nest:
-// the outer order (bounds boundsOut) enclosing the optional mid order
-// (bounds boundsMid). Loops with bound 1 are transparent.
-func iterations(t *einsum.Tensor, outOrder, midOrder []string, boundsOut, boundsMid map[string]int64) int64 {
-	type loop struct {
-		rank  string
-		bound int64
-	}
-	var nest []loop
-	for _, r := range outOrder {
-		nest = append(nest, loop{rank: r, bound: boundsOut[r]})
-	}
-	for _, r := range midOrder {
-		nest = append(nest, loop{rank: r, bound: boundsMid[r]})
-	}
-	inner := -1
-	for i := len(nest) - 1; i >= 0; i-- {
-		if nest[i].bound > 1 && t.Relevant(nest[i].rank) {
-			inner = i
-			break
-		}
-	}
-	iters := int64(1)
-	for i := 0; i <= inner; i++ {
-		if nest[i].bound > 1 {
-			iters *= nest[i].bound
-		}
-	}
-	return iters
 }
 
 // MinL2GivenOptimalDRAM returns, for an L2 capacity, the smallest L2->L1

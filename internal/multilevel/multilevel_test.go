@@ -5,11 +5,12 @@ import (
 
 	"repro/internal/bound"
 	"repro/internal/einsum"
+	"repro/internal/pareto"
 )
 
 func TestDeriveSmallGEMM(t *testing.T) {
 	g := einsum.GEMM("g", 32, 32, 32)
-	r, err := Derive(g, 1<<10)
+	r, err := Derive(g, 1<<10, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,7 +31,7 @@ func TestDeriveSmallGEMM(t *testing.T) {
 func TestThreeLevelNeverBelowTwoLevel(t *testing.T) {
 	g := einsum.GEMM("g", 32, 32, 32)
 	two := bound.Derive(g, bound.Options{Workers: 1}).Curve
-	r, err := Derive(g, 256)
+	r, err := Derive(g, 256, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func TestHugeL1RecoversTwoLevelCurve(t *testing.T) {
 	// two-level bound at every two-level breakpoint.
 	g := einsum.GEMM("g", 16, 16, 16)
 	two := bound.Derive(g, bound.Options{Workers: 1}).Curve
-	r, err := Derive(g, 1<<30)
+	r, err := Derive(g, 1<<30, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestCompositionGapExists(t *testing.T) {
 	// per-level optima simultaneously — the reason Fig. 7's composed
 	// probe is "valid but not guaranteed tight".
 	g := einsum.GEMM("g", 64, 64, 64)
-	r, err := Derive(g, 128)
+	r, err := Derive(g, 128, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestCompositionGapExists(t *testing.T) {
 
 func TestL2TrafficAtLeastDRAM(t *testing.T) {
 	g := einsum.GEMM("g", 32, 32, 32)
-	r, err := Derive(g, 512)
+	r, err := Derive(g, 512, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,13 +108,58 @@ func TestL2TrafficAtLeastDRAM(t *testing.T) {
 	}
 }
 
+// TestParallelMatchesSerial is the determinism contract of the shared
+// traversal engine: DRAM/L2 curves, mapping counts, and the joint
+// MinL2GivenOptimalDRAM answers are byte-identical for every worker count.
+func TestParallelMatchesSerial(t *testing.T) {
+	g := einsum.GEMM("g", 32, 32, 32)
+	serial, err := Derive(g, 512, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Stats.Workers != 1 {
+		t.Fatalf("serial run launched %d workers", serial.Stats.Workers)
+	}
+	for _, w := range []int{2, 3, 0} {
+		par, err := Derive(g, 512, Options{Workers: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.Mappings != serial.Mappings {
+			t.Fatalf("workers=%d: %d mappings vs serial %d", w, par.Mappings, serial.Mappings)
+		}
+		for name, pair := range map[string][2]interface{ Points() []pareto.Point }{
+			"DRAM": {serial.DRAM, par.DRAM},
+			"L2":   {serial.L2, par.L2},
+		} {
+			sp, pp := pair[0].Points(), pair[1].Points()
+			if len(sp) != len(pp) {
+				t.Fatalf("workers=%d %s: %d points vs serial %d", w, name, len(pp), len(sp))
+			}
+			for i := range sp {
+				if sp[i] != pp[i] {
+					t.Fatalf("workers=%d %s point %d: %v vs serial %v", w, name, i, pp[i], sp[i])
+				}
+			}
+		}
+		for _, capBytes := range []int64{512, 1 << 10, 1 << 12, 1 << 14, 1 << 16} {
+			sl2, sdram, sok := serial.MinL2GivenOptimalDRAM(capBytes)
+			pl2, pdram, pok := par.MinL2GivenOptimalDRAM(capBytes)
+			if sl2 != pl2 || sdram != pdram || sok != pok {
+				t.Fatalf("workers=%d MinL2GivenOptimalDRAM(%d): (%d,%d,%v) vs serial (%d,%d,%v)",
+					w, capBytes, pl2, pdram, pok, sl2, sdram, sok)
+			}
+		}
+	}
+}
+
 func TestDeriveRejectsBadInput(t *testing.T) {
 	g := einsum.GEMM("g", 8, 8, 8)
-	if _, err := Derive(g, 0); err == nil {
+	if _, err := Derive(g, 0, Options{}); err == nil {
 		t.Fatal("zero L1 capacity accepted")
 	}
 	bad := &einsum.Einsum{Name: "bad", ElementSize: 2}
-	if _, err := Derive(bad, 1024); err == nil {
+	if _, err := Derive(bad, 1024, Options{}); err == nil {
 		t.Fatal("invalid einsum accepted")
 	}
 }

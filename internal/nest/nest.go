@@ -1,0 +1,63 @@
+// Package nest is the shared access model of the Orojenesis flow: the
+// level-generic loop-nest iteration rule of Fig. 6. Every analytical
+// evaluator in this repo — the two-level Snowcat model, the three-level
+// joint bound, and the Simba validation model — expresses its per-tensor
+// transfer count as the same product rule over a composite nest of
+// (rank, bound) loops, so the rule lives here exactly once and the
+// evaluators differ only in how they assemble the nest and the tensor's
+// footprint.
+//
+// The rule: a tensor is re-transferred once per iteration of every loop
+// from the outermost down to the innermost loop that is *relevant* to it
+// (i.e. that advances the tensor's tile). Loops below the innermost
+// relevant loop reuse the resident tile and contribute nothing; loops with
+// bound 1 are transparent at any position.
+package nest
+
+// Loop is one loop of a composite nest, outermost first: the named rank is
+// iterated Bound times at this level. Multi-level evaluators concatenate
+// per-level nests (outer level first) into one composite nest.
+type Loop struct {
+	Rank  string
+	Bound int64
+}
+
+// Iterations applies the product rule to a nest: the product of the bounds
+// of all loops from the outermost down to the innermost loop with Bound > 1
+// whose rank is relevant to the tensor. Returns 1 when no relevant loop
+// iterates (the tensor's tile stays resident for the whole execution).
+func Iterations(loops []Loop, relevant func(rank string) bool) int64 {
+	return IterationsGrouped(loops, relevant, nil)
+}
+
+// IterationsGrouped is Iterations with a hook for grouped-rank reuse
+// (grouped BMM weight sharing): when innermost is non-nil it supplies the
+// factor contributed by the innermost relevant loop in place of its bound —
+// consecutive iterations within a group revisit the same tile, so the
+// effective transfer count of that loop shrinks. All outer loops still
+// contribute their full bounds.
+//
+// This is the single implementation of the paper's Fig. 6 product rule;
+// every evaluator instantiates it rather than re-deriving it.
+func IterationsGrouped(loops []Loop, relevant func(rank string) bool, innermost func(Loop) int64) int64 {
+	inner := -1
+	for i := len(loops) - 1; i >= 0; i-- {
+		if loops[i].Bound > 1 && relevant(loops[i].Rank) {
+			inner = i
+			break
+		}
+	}
+	iters := int64(1)
+	for i := 0; i <= inner; i++ {
+		l := loops[i]
+		if l.Bound == 1 {
+			continue
+		}
+		factor := l.Bound
+		if i == inner && innermost != nil {
+			factor = innermost(l)
+		}
+		iters *= factor
+	}
+	return iters
+}

@@ -1,0 +1,200 @@
+package simba
+
+import (
+	"testing"
+
+	"repro/internal/pareto"
+	"repro/internal/shape"
+)
+
+// referenceMapspace is a frozen copy of the nested-loop enumerator that
+// predates the index-addressable mapspace. It is kept verbatim as the
+// parity oracle: the ported enumerator must visit exactly the same
+// mappings in exactly the same order, so capacity pruning and
+// MappingsEvaluated counts are provably unchanged by the refactor.
+func referenceMapspace(g GEMM, a Arch, visit func(*Mapping)) {
+	es := a.ElementSize
+	var m Mapping
+
+	spatials := []int64{1}
+	for _, s := range shape.Divisors(g.M) {
+		if s > 1 && s <= a.PEs {
+			spatials = append(spatials, s)
+		}
+	}
+
+	for _, m0 := range shape.Divisors(g.M) {
+		for _, k0 := range shape.Divisors(g.K) {
+			if (m0*k0)*es > a.RFBytes {
+				break // k0 ascending; larger only grows the footprint
+			}
+			for _, n0 := range shape.Divisors(g.N) {
+				if (m0*k0+k0*n0+m0*n0)*es > a.RFBytes {
+					break
+				}
+				for _, sp := range spatials {
+					if g.M%(m0*sp) != 0 {
+						continue
+					}
+					for _, m1 := range shape.Divisors(g.M / (m0 * sp)) {
+						tm := m0 * m1 * sp
+						if (tm*k0)*es > a.GBBytes {
+							break
+						}
+						for _, k1 := range shape.Divisors(g.K / k0) {
+							tk := k0 * k1
+							if (tm*tk)*es > a.GBBytes {
+								break
+							}
+							for _, n1 := range shape.Divisors(g.N / n0) {
+								tn := n0 * n1
+								if (tm*tk+tk*tn+tm*tn)*es > a.GBBytes {
+									break
+								}
+								m = Mapping{
+									M0: m0, K0: k0, N0: n0,
+									M1: m1, K1: k1, N1: n1,
+									Spatial: sp,
+									M2:      g.M / (m0 * m1 * sp),
+									K2:      g.K / (k0 * k1),
+									N2:      g.N / (n0 * n1),
+								}
+								for _, ord := range dramOrders {
+									m.OrderDRAM = ord
+									visit(&m)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMapspaceMatchesReference checks exact visit-sequence parity with the
+// pre-refactor nested-loop enumerator: same mappings, same order, same
+// count, across shapes that exercise every pruning branch.
+func TestMapspaceMatchesReference(t *testing.T) {
+	cases := []struct {
+		g  GEMM
+		gb int64
+	}{
+		{GEMM{M: 16, K: 16, N: 16}, 1 << 10},
+		{GEMM{M: 64, K: 64, N: 64}, 1 << 8}, // tight GB: break pruning dominates
+		{GEMM{M: 64, K: 64, N: 64}, 1 << 14},
+		{GEMM{M: 32, K: 8, N: 48}, 1 << 12}, // non-uniform ranks
+	}
+	for _, tc := range cases {
+		a := smallArch(tc.gb)
+		var want []Mapping
+		referenceMapspace(tc.g, a, func(m *Mapping) { want = append(want, *m) })
+
+		var got []Mapping
+		Mapspace(tc.g, a, func(m *Mapping) { got = append(got, *m) })
+
+		if len(got) != len(want) {
+			t.Fatalf("%+v gb=%d: %d mappings vs reference %d", tc.g, tc.gb, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%+v gb=%d: mapping %d = %+v, reference %+v", tc.g, tc.gb, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestMappingsEvaluatedMatchesReference pins the search's evaluation count
+// to the reference enumerator at every worker count: pruning is preserved
+// exactly under any partitioning of the combo space.
+func TestMappingsEvaluatedMatchesReference(t *testing.T) {
+	g := GEMM{M: 64, K: 64, N: 64}
+	for _, gb := range []int64{1 << 8, 1 << 12} {
+		a := smallArch(gb)
+		var want int64
+		referenceMapspace(g, a, func(*Mapping) { want++ })
+		for _, w := range []int{1, 2, 5, 0} {
+			res := SearchBest(g, a, Options{Workers: w})
+			if res.MappingsEvaluated != want {
+				t.Fatalf("gb=%d workers=%d: MappingsEvaluated %d, reference %d",
+					gb, w, res.MappingsEvaluated, want)
+			}
+		}
+	}
+}
+
+// TestParallelSearchMatchesSerial is the determinism contract: SearchBest,
+// Samples, and DSE return byte-identical results for every worker count.
+func TestParallelSearchMatchesSerial(t *testing.T) {
+	g := GEMM{M: 64, K: 64, N: 64}
+	a := smallArch(1 << 12)
+
+	serial := SearchBest(g, a, Options{Workers: 1})
+	if serial.Workers != 1 {
+		t.Fatalf("serial search launched %d workers", serial.Workers)
+	}
+	serialPts := Samples(g, a, 0, Options{Workers: 1})
+	serialCapped := Samples(g, a, 37, Options{Workers: 1})
+	serialDSE := DSE(g, []int64{256, 1024, 4096}, Options{Workers: 1})
+
+	for _, w := range []int{2, 3, 0} {
+		par := SearchBest(g, a, Options{Workers: w})
+		if par.BestDRAMBytes != serial.BestDRAMBytes ||
+			par.BestGBBytesUsed != serial.BestGBBytesUsed ||
+			par.MappingsEvaluated != serial.MappingsEvaluated {
+			t.Fatalf("workers=%d: SearchBest (%d,%d,%d) vs serial (%d,%d,%d)",
+				w, par.BestDRAMBytes, par.BestGBBytesUsed, par.MappingsEvaluated,
+				serial.BestDRAMBytes, serial.BestGBBytesUsed, serial.MappingsEvaluated)
+		}
+
+		for name, pair := range map[string][2][]pareto.Point{
+			"all":    {serialPts, Samples(g, a, 0, Options{Workers: w})},
+			"capped": {serialCapped, Samples(g, a, 37, Options{Workers: w})},
+		} {
+			sp, pp := pair[0], pair[1]
+			if len(sp) != len(pp) {
+				t.Fatalf("workers=%d Samples(%s): %d points vs serial %d", w, name, len(pp), len(sp))
+			}
+			for i := range sp {
+				if sp[i] != pp[i] {
+					t.Fatalf("workers=%d Samples(%s) point %d: %v vs serial %v", w, name, i, pp[i], sp[i])
+				}
+			}
+		}
+
+		parDSE := DSE(g, []int64{256, 1024, 4096}, Options{Workers: w})
+		for i := range serialDSE {
+			if parDSE[i].BestDRAMBytes != serialDSE[i].BestDRAMBytes ||
+				parDSE[i].BestGBBytesUsed != serialDSE[i].BestGBBytesUsed ||
+				parDSE[i].MappingsEvaluated != serialDSE[i].MappingsEvaluated {
+				t.Fatalf("workers=%d DSE[%d] differs from serial", w, i)
+			}
+		}
+	}
+}
+
+// TestSamplesEvenCoverage verifies the sampling-bias fix: a capped sample
+// returns exactly limit points drawn evenly from the whole enumeration, so
+// the last sampled point comes from the final stretch of the mapspace
+// rather than a stride-truncated prefix.
+func TestSamplesEvenCoverage(t *testing.T) {
+	g := GEMM{M: 16, K: 16, N: 16}
+	a := smallArch(1 << 12)
+	all := Samples(g, a, 0, Options{})
+	if len(all) <= 40 {
+		t.Skipf("mapspace too small: %d", len(all))
+	}
+	limit := 40
+	capped := Samples(g, a, limit, Options{})
+	if len(capped) != limit {
+		t.Fatalf("Samples(limit=%d) returned %d points", limit, len(capped))
+	}
+	for i := range capped {
+		if want := all[int64(i)*int64(len(all))/int64(limit)]; capped[i] != want {
+			t.Fatalf("sample %d = %v, want even-coverage point %v", i, capped[i], want)
+		}
+	}
+	if lastIdx := int64(limit-1) * int64(len(all)) / int64(limit); lastIdx < int64(len(all))*3/4 {
+		t.Fatalf("last sample index %d not in the final quarter of %d points", lastIdx, len(all))
+	}
+}

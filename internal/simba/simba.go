@@ -13,6 +13,7 @@ package simba
 import (
 	"fmt"
 
+	"repro/internal/nest"
 	"repro/internal/shape"
 )
 
@@ -102,6 +103,9 @@ func (m *Mapping) Validate(g GEMM, a Arch) error {
 	return nil
 }
 
+// tensorNames are the GEMM operands in evaluation order.
+var tensorNames = [3]string{"A", "W", "B"}
+
 // relevance of the GEMM operands to each rank.
 var relevant = map[string]map[string]bool{
 	"A": {"M": true, "K": true, "N": false},
@@ -109,7 +113,34 @@ var relevant = map[string]map[string]bool{
 	"B": {"M": true, "K": false, "N": true},
 }
 
-// Evaluate runs the analytical model. The mapping must be valid.
+// dramBound returns the DRAM-level loop bound of a rank.
+func (m *Mapping) dramBound(r string) int64 {
+	switch r {
+	case "M":
+		return m.M2
+	case "K":
+		return m.K2
+	default:
+		return m.N2
+	}
+}
+
+// gbBound returns the combined GB-temporal and DRAM loop bound of a rank —
+// the trip count an RF tile sees at the Global-Buffer boundary.
+func (m *Mapping) gbBound(r string) int64 {
+	switch r {
+	case "M":
+		return m.M1 * m.M2
+	case "K":
+		return m.K1 * m.K2
+	default:
+		return m.N1 * m.N2
+	}
+}
+
+// Evaluate runs the analytical model. The mapping must be valid. Transfer
+// counts at both boundaries instantiate the shared product rule
+// (internal/nest) on the mapping's DRAM loop order.
 func Evaluate(g GEMM, a Arch, m *Mapping) Result {
 	es := a.ElementSize
 	tm, tk, tn := m.gbTiles()
@@ -121,10 +152,16 @@ func Evaluate(g GEMM, a Arch, m *Mapping) Result {
 		GBBytesUsed: gbFoot * es,
 	}
 
-	dramBounds := map[string]int64{"M": m.M2, "K": m.K2, "N": m.N2}
-	gbTileOf := map[string]int64{"A": tm * tk, "W": tk * tn, "B": tm * tn}
-	for tensor, tile := range gbTileOf {
-		res.DRAMAccessBytes += tile * iterations(m.OrderDRAM[:], dramBounds, relevant[tensor]) * es
+	// DRAM -> GB traffic: GB tiles iterated by the DRAM loop nest.
+	var loops [3]nest.Loop
+	for i, r := range m.OrderDRAM {
+		loops[i] = nest.Loop{Rank: r, Bound: m.dramBound(r)}
+	}
+	gbTiles := [3]int64{tm * tk, tk * tn, tm * tn} // A, W, B
+	for i, tensor := range tensorNames {
+		rel := relevant[tensor]
+		iters := nest.Iterations(loops[:], func(r string) bool { return rel[r] })
+		res.DRAMAccessBytes += gbTiles[i] * iters * es
 	}
 
 	// GB -> RF traffic: RF tiles iterated by the GB temporal loops nested
@@ -132,32 +169,18 @@ func Evaluate(g GEMM, a Arch, m *Mapping) Result {
 	// model's fixed dataflow). Spatially partitioned tensors (relevant to
 	// M) stream per PE; M-irrelevant tensors are broadcast and counted
 	// once.
-	gbBounds := map[string]int64{"M": m.M1 * m.M2, "K": m.K1 * m.K2, "N": m.N1 * m.N2}
-	rfTileOf := map[string]int64{"A": m.M0 * m.K0, "W": m.K0 * m.N0, "B": m.M0 * m.N0}
-	for tensor, tile := range rfTileOf {
-		iters := iterations(m.OrderDRAM[:], gbBounds, relevant[tensor])
+	for i, r := range m.OrderDRAM {
+		loops[i] = nest.Loop{Rank: r, Bound: m.gbBound(r)}
+	}
+	rfTiles := [3]int64{m.M0 * m.K0, m.K0 * m.N0, m.M0 * m.N0} // A, W, B
+	for i, tensor := range tensorNames {
+		rel := relevant[tensor]
+		iters := nest.Iterations(loops[:], func(r string) bool { return rel[r] })
 		fanout := int64(1)
-		if relevant[tensor]["M"] {
+		if rel["M"] {
 			fanout = m.Spatial
 		}
-		res.GBAccessBytes += tile * iters * fanout * es
+		res.GBAccessBytes += rfTiles[i] * iters * fanout * es
 	}
 	return res
-}
-
-// iterations applies the Snowcat product rule: bounds of all loops from
-// the outermost down to the innermost loop relevant to the tensor.
-func iterations(order []string, bounds map[string]int64, rel map[string]bool) int64 {
-	inner := -1
-	for i := len(order) - 1; i >= 0; i-- {
-		if bounds[order[i]] > 1 && rel[order[i]] {
-			inner = i
-			break
-		}
-	}
-	iters := int64(1)
-	for i := 0; i <= inner; i++ {
-		iters *= bounds[order[i]]
-	}
-	return iters
 }

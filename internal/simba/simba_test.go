@@ -120,8 +120,8 @@ func TestDRAMAboveOrojenesisBound(t *testing.T) {
 
 func TestSearchBestImprovesWithGB(t *testing.T) {
 	g := GEMM{M: 64, K: 64, N: 64}
-	small := SearchBest(g, smallArch(1<<9))
-	large := SearchBest(g, smallArch(1<<14))
+	small := SearchBest(g, smallArch(1<<9), Options{})
+	large := SearchBest(g, smallArch(1<<14), Options{})
 	if small.BestDRAMBytes < large.BestDRAMBytes {
 		t.Fatalf("larger GB should not increase best DRAM accesses: %d vs %d",
 			small.BestDRAMBytes, large.BestDRAMBytes)
@@ -134,19 +134,19 @@ func TestSearchBestImprovesWithGB(t *testing.T) {
 func TestSamplesLimit(t *testing.T) {
 	g := GEMM{M: 16, K: 16, N: 16}
 	a := smallArch(1 << 12)
-	all := Samples(g, a, 0)
-	capped := Samples(g, a, 10)
+	all := Samples(g, a, 0, Options{})
+	capped := Samples(g, a, 10, Options{})
 	if len(all) <= 10 {
 		t.Skipf("mapspace too small to test capping: %d", len(all))
 	}
-	if len(capped) > 11 {
+	if len(capped) != 10 {
 		t.Fatalf("Samples(limit=10) returned %d points", len(capped))
 	}
 }
 
 func TestDSESweep(t *testing.T) {
 	g := GEMM{M: 32, K: 32, N: 32}
-	results := DSE(g, []int64{256, 512, 1024})
+	results := DSE(g, []int64{256, 512, 1024}, Options{})
 	if len(results) != 3 {
 		t.Fatalf("DSE returned %d results", len(results))
 	}

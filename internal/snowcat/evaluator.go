@@ -3,20 +3,25 @@ package snowcat
 import (
 	"repro/internal/einsum"
 	"repro/internal/mapping"
+	"repro/internal/nest"
 	"repro/internal/shape"
 )
 
 // Evaluator is a compiled form of an Einsum's Snowcat model. It avoids the
 // per-call map allocations of Evaluate, which matters inside exhaustive
 // mapspace traversals that evaluate hundreds of thousands of mappings.
+// An Evaluator is not safe for concurrent use (it reuses a scratch loop
+// nest between calls); parallel traversals build one per worker.
 type Evaluator struct {
 	e         *einsum.Einsum
 	rankShape map[string]int64
 	tensors   []compiledTensor
+	nestBuf   []nest.Loop // reusable outer-loop nest, rebuilt per mapping
 }
 
 type compiledTensor struct {
 	output   bool
+	grouped  bool // any rank carries a grouping divisor > 1
 	sizeElem int64
 	dims     []compiledDim
 	// relevant[rank] and groupDiv[rank] are keyed by rank name; rank
@@ -48,7 +53,11 @@ func NewEvaluator(e *einsum.Einsum) *Evaluator {
 		}
 		for _, r := range e.Ranks {
 			ct.relevant[r.Name] = t.Relevant(r.Name)
-			ct.groupDiv[r.Name] = t.GroupDivFor(r.Name)
+			gd := t.GroupDivFor(r.Name)
+			ct.groupDiv[r.Name] = gd
+			if gd > 1 {
+				ct.grouped = true
+			}
 		}
 		for j := range t.Dims {
 			d := &t.Dims[j]
@@ -67,11 +76,12 @@ func NewEvaluator(e *einsum.Einsum) *Evaluator {
 // bytes — the two numbers the Orojenesis frontier needs.
 func (ev *Evaluator) EvaluateCompact(m *mapping.Mapping) (bufBytes, accessBytes int64) {
 	es := ev.e.ElementSize
+	loops := ev.loops(m)
 	for i := range ev.tensors {
 		t := &ev.tensors[i]
 		fp := ev.footprint(t, m)
 		bufBytes += fp
-		accessBytes += fp * ev.iterations(t, m)
+		accessBytes += fp * ev.iterations(t, loops, m)
 	}
 	return bufBytes * es, accessBytes * es
 }
@@ -83,11 +93,12 @@ func (ev *Evaluator) EvaluateCompact(m *mapping.Mapping) (bufBytes, accessBytes 
 // this variant supports the spill-accounting ablation.
 func (ev *Evaluator) EvaluateCompactSpillCharged(m *mapping.Mapping) (bufBytes, accessBytes int64) {
 	es := ev.e.ElementSize
+	loops := ev.loops(m)
 	for i := range ev.tensors {
 		t := &ev.tensors[i]
 		fp := ev.footprint(t, m)
 		bufBytes += fp
-		elems := fp * ev.iterations(t, m)
+		elems := fp * ev.iterations(t, loops, m)
 		accessBytes += elems
 		if t.output && elems > t.sizeElem {
 			accessBytes += elems - t.sizeElem // reload of spilled partials
@@ -117,33 +128,34 @@ func (ev *Evaluator) footprint(t *compiledTensor, m *mapping.Mapping) int64 {
 	return fp
 }
 
-func (ev *Evaluator) iterations(t *compiledTensor, m *mapping.Mapping) int64 {
-	order := m.OuterOrder
-	inner := -1
-	for i := len(order) - 1; i >= 0; i-- {
-		r := order[i]
-		if m.Splits[r].Outer > 1 && t.relevant[r] {
-			inner = i
-			break
-		}
+// loops assembles the mapping's outer-loop nest into the Evaluator's
+// scratch buffer — one split lookup per rank per mapping, shared across
+// tensors.
+func (ev *Evaluator) loops(m *mapping.Mapping) []nest.Loop {
+	loops := ev.nestBuf[:0]
+	for _, r := range m.OuterOrder {
+		loops = append(loops, nest.Loop{Rank: r, Bound: m.Splits[r].Outer})
 	}
-	if inner < 0 {
-		return 1
+	ev.nestBuf = loops
+	return loops
+}
+
+// iterations instantiates the shared product rule (internal/nest) for one
+// tensor. Grouped tensors override the innermost relevant factor: across
+// the loop, consecutive head iterations within a group reuse the same
+// weight tile, so only distinct group tiles are transferred.
+func (ev *Evaluator) iterations(t *compiledTensor, loops []nest.Loop, m *mapping.Mapping) int64 {
+	if !t.grouped {
+		return nest.Iterations(loops, func(r string) bool { return t.relevant[r] })
 	}
-	iters := int64(1)
-	for i := 0; i <= inner; i++ {
-		r := order[i]
-		s := m.Splits[r]
-		if s.Outer == 1 {
-			continue
-		}
-		factor := s.Outer
-		if i == inner {
-			if gd := t.groupDiv[r]; gd > 1 {
-				factor = shape.Max(1, shape.CeilDiv(s.Outer*s.Inner, shape.Max(s.Inner, gd)))
+	return nest.IterationsGrouped(loops,
+		func(r string) bool { return t.relevant[r] },
+		func(l nest.Loop) int64 {
+			gd := t.groupDiv[l.Rank]
+			if gd <= 1 {
+				return l.Bound
 			}
-		}
-		iters *= factor
-	}
-	return iters
+			in := m.Splits[l.Rank].Inner
+			return shape.Max(1, shape.CeilDiv(l.Bound*in, shape.Max(in, gd)))
+		})
 }

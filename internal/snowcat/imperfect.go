@@ -18,11 +18,12 @@ import (
 // least once), keeping the bound sound.
 func (ev *Evaluator) EvaluateImperfectCompact(m *mapping.Mapping) (bufBytes, accessBytes int64) {
 	es := ev.e.ElementSize
+	loops := ev.loops(m)
 	for i := range ev.tensors {
 		t := &ev.tensors[i]
 		bufBytes += ev.footprint(t, m)
 		fpEff := ev.effectiveFootprint(t, m)
-		iters := ev.iterations(t, m)
+		iters := ev.iterations(t, loops, m)
 		elems := int64(math.Ceil(fpEff * float64(iters)))
 		if elems < t.sizeElem {
 			elems = t.sizeElem

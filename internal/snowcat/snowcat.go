@@ -12,6 +12,7 @@ package snowcat
 import (
 	"repro/internal/einsum"
 	"repro/internal/mapping"
+	"repro/internal/nest"
 	"repro/internal/shape"
 )
 
@@ -75,42 +76,25 @@ func Evaluate(e *einsum.Einsum, m *mapping.Mapping) Result {
 }
 
 // iterations computes the number of backing-store transfers for tensor t
-// under mapping m: the product of outer-loop bounds from the outermost
-// loop down to the innermost loop relevant to t. Loops with bound 1 are
-// transparent. A grouped rank (grouped BMM weight sharing) contributes a
-// reduced factor when it is the tensor's innermost relevant loop, because
-// consecutive head iterations within a group reuse the same weight tile.
+// under mapping m by instantiating the shared product rule (internal/nest)
+// on the mapping's outer-loop nest. A grouped rank (grouped BMM weight
+// sharing) contributes a reduced factor when it is the tensor's innermost
+// relevant loop, because consecutive head iterations within a group reuse
+// the same weight tile.
 func iterations(t *einsum.Tensor, m *mapping.Mapping) int64 {
-	order := m.OuterOrder
-	// Find the innermost relevant loop with bound > 1.
-	inner := -1
-	for i := len(order) - 1; i >= 0; i-- {
-		r := order[i]
-		if m.Splits[r].Outer > 1 && t.Relevant(r) {
-			inner = i
-			break
-		}
+	loops := make([]nest.Loop, 0, len(m.OuterOrder))
+	for _, r := range m.OuterOrder {
+		loops = append(loops, nest.Loop{Rank: r, Bound: m.Splits[r].Outer})
 	}
-	if inner < 0 {
-		return 1
-	}
-	iters := int64(1)
-	for i := 0; i <= inner; i++ {
-		r := order[i]
-		s := m.Splits[r]
-		if s.Outer == 1 {
-			continue
+	return nest.IterationsGrouped(loops, t.Relevant, func(l nest.Loop) int64 {
+		gd := t.GroupDivFor(l.Rank)
+		if gd <= 1 {
+			return l.Bound
 		}
-		factor := s.Outer
-		if i == inner {
-			if gd := t.GroupDivFor(r); gd > 1 {
-				// Number of distinct group tiles visited across the loop.
-				factor = shape.Max(1, shape.CeilDiv(s.Outer*s.Inner, shape.Max(s.Inner, gd)))
-			}
-		}
-		iters = shape.Product(iters, factor)
-	}
-	return iters
+		// Number of distinct group tiles visited across the loop.
+		in := m.Splits[l.Rank].Inner
+		return shape.Max(1, shape.CeilDiv(l.Bound*in, shape.Max(in, gd)))
+	})
 }
 
 // OperationalIntensity returns MACs per element of backing-store traffic

@@ -5,8 +5,10 @@
 // index-addressable enumeration whose per-index results feed a Pareto
 // frontier (or an output slot keyed by index). This package distributes
 // such enumerations across workers in dynamically grabbed contiguous
-// chunks, gives each worker a private pareto.Builder, and merges the
-// per-worker frontiers at the end.
+// chunks (Partition), with per-worker accumulators merged after the
+// traversal; Frontier specializes the engine to Pareto-frontier reductions
+// (a private pareto.Builder per worker, pareto.Union as the merge), and
+// Each to index-keyed output slots.
 //
 // Chunked index distribution — rather than sharding by the factor
 // structure of one rank — means utilization scales with GOMAXPROCS
@@ -74,39 +76,56 @@ func ResolveWorkers(workers int) int {
 	return workers
 }
 
-// ChunkFunc processes the enumeration indices [lo, hi), adding frontier
-// candidates to b, and returns the number of points it evaluated.
-type ChunkFunc func(lo, hi int64, b *pareto.Builder) int64
+// RangeFunc processes the enumeration indices [lo, hi) and returns the
+// number of points it evaluated (which can differ from hi-lo when indices
+// expand into several mappings, or are skipped by pruning).
+type RangeFunc func(lo, hi int64) int64
 
-// Frontier distributes the index range [0, items) over workers and merges
-// the per-worker Pareto frontiers. newWorker is called once per worker to
-// build its chunk function, so per-worker state (an evaluator, a reusable
-// mapping) lives in the closure without synchronization. The result is
-// byte-identical for every worker count.
-func Frontier(items int64, workers int, newWorker func() ChunkFunc) (*pareto.Curve, Stats) {
+// WorkerCount resolves a Workers option against an index-space size: the
+// number of workers Partition will actually launch — ResolveWorkers
+// clamped to the number of items, never below 1. Callers size per-worker
+// accumulator slices with it before handing them to Partition's newWorker.
+func WorkerCount(items int64, workers int) int {
+	return clampWorkers(workers, items)
+}
+
+// Partition is the traversal engine every exhaustive enumeration in this
+// repo runs on: it distributes the index range [0, items) across exactly
+// workerCount workers (use WorkerCount to compute it) in dynamically
+// grabbed contiguous chunks. newWorker is called once per worker with a
+// dense slot index w in [0, workerCount), so per-worker state — an
+// evaluator, a Pareto builder, a best-so-far accumulator — lives in the
+// closure or in a w-indexed slice without synchronization, and the caller
+// merges the slots deterministically after Partition returns. A worker's
+// chunks arrive in ascending index order, so within one worker the visit
+// sequence is a subsequence of the serial enumeration.
+func Partition(items int64, workerCount int, newWorker func(w int) RangeFunc) Stats {
 	start := time.Now()
-	w := clampWorkers(workers, items)
 	if items <= 0 {
-		return &pareto.Curve{}, Stats{Elapsed: time.Since(start)}
+		return Stats{Elapsed: time.Since(start)}
+	}
+	w := workerCount
+	if w < 1 {
+		w = 1
+	}
+	if int64(w) > items {
+		w = int(items)
 	}
 	if w == 1 {
-		// Serial fast path: no goroutine, no merge.
-		b := pareto.NewBuilder()
-		n := newWorker()(0, items, b)
-		return b.Curve(), Stats{Workers: 1, Items: items, Evaluated: n, Elapsed: time.Since(start)}
+		// Serial fast path: no goroutine, exact enumeration order.
+		n := newWorker(0)(0, items)
+		return Stats{Workers: 1, Items: items, Evaluated: n, Elapsed: time.Since(start)}
 	}
 
 	chunk := chunkSize(items, w)
 	var next atomic.Int64
-	curves := make([]*pareto.Curve, w)
 	counts := make([]int64, w)
 	var wg sync.WaitGroup
 	for i := 0; i < w; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			fn := newWorker()
-			b := pareto.NewBuilder()
+			fn := newWorker(i)
 			var n int64
 			for {
 				lo := next.Add(chunk) - chunk
@@ -117,9 +136,8 @@ func Frontier(items int64, workers int, newWorker func() ChunkFunc) (*pareto.Cur
 				if hi > items {
 					hi = items
 				}
-				n += fn(lo, hi, b)
+				n += fn(lo, hi)
 			}
-			curves[i] = b.Curve()
 			counts[i] = n
 		}(i)
 	}
@@ -129,50 +147,49 @@ func Frontier(items int64, workers int, newWorker func() ChunkFunc) (*pareto.Cur
 	for _, n := range counts {
 		total += n
 	}
-	return pareto.Union(curves...), Stats{
-		Workers: w, Items: items, Evaluated: total, Elapsed: time.Since(start),
+	return Stats{Workers: w, Items: items, Evaluated: total, Elapsed: time.Since(start)}
+}
+
+// ChunkFunc processes the enumeration indices [lo, hi), adding frontier
+// candidates to b, and returns the number of points it evaluated.
+type ChunkFunc func(lo, hi int64, b *pareto.Builder) int64
+
+// Frontier distributes the index range [0, items) over workers and merges
+// the per-worker Pareto frontiers — Partition instantiated with a private
+// pareto.Builder per worker and pareto.Union as the merge. newWorker is
+// called once per worker to build its chunk function, so per-worker state
+// (an evaluator, a reusable mapping) lives in the closure without
+// synchronization. The result is byte-identical for every worker count.
+func Frontier(items int64, workers int, newWorker func() ChunkFunc) (*pareto.Curve, Stats) {
+	w := WorkerCount(items, workers)
+	builders := make([]*pareto.Builder, w)
+	stats := Partition(items, w, func(wi int) RangeFunc {
+		fn := newWorker()
+		b := pareto.NewBuilder()
+		builders[wi] = b
+		return func(lo, hi int64) int64 { return fn(lo, hi, b) }
+	})
+	curves := make([]*pareto.Curve, 0, len(builders))
+	for _, b := range builders {
+		if b != nil {
+			curves = append(curves, b.Curve())
+		}
 	}
+	return pareto.Union(curves...), stats
 }
 
 // Each runs fn(i) for every index in [0, items) across workers. fn must be
 // safe for concurrent invocation on distinct indices; writing to
 // index-keyed slots of a pre-sized slice keeps results deterministic.
 func Each(items int64, workers int, fn func(i int64)) Stats {
-	start := time.Now()
-	w := clampWorkers(workers, items)
-	if items <= 0 {
-		return Stats{Elapsed: time.Since(start)}
-	}
-	if w == 1 {
-		for i := int64(0); i < items; i++ {
-			fn(i)
-		}
-		return Stats{Workers: 1, Items: items, Evaluated: items, Elapsed: time.Since(start)}
-	}
-	chunk := chunkSize(items, w)
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for i := 0; i < w; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				lo := next.Add(chunk) - chunk
-				if lo >= items {
-					break
-				}
-				hi := lo + chunk
-				if hi > items {
-					hi = items
-				}
-				for j := lo; j < hi; j++ {
-					fn(j)
-				}
+	return Partition(items, WorkerCount(items, workers), func(int) RangeFunc {
+		return func(lo, hi int64) int64 {
+			for j := lo; j < hi; j++ {
+				fn(j)
 			}
-		}()
-	}
-	wg.Wait()
-	return Stats{Workers: w, Items: items, Evaluated: items, Elapsed: time.Since(start)}
+			return hi - lo
+		}
+	})
 }
 
 func clampWorkers(workers int, items int64) int {

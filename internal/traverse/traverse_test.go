@@ -91,6 +91,107 @@ func TestFrontierClampsWorkersToItems(t *testing.T) {
 	}
 }
 
+func TestPartitionCoversEveryIndexOnce(t *testing.T) {
+	const items = 20000
+	var visits [items]atomic.Int32
+	w := WorkerCount(items, 8)
+	stats := Partition(items, w, func(int) RangeFunc {
+		return func(lo, hi int64) int64 {
+			for i := lo; i < hi; i++ {
+				visits[i].Add(1)
+			}
+			return hi - lo
+		}
+	})
+	for i := range visits {
+		if n := visits[i].Load(); n != 1 {
+			t.Fatalf("index %d visited %d times", i, n)
+		}
+	}
+	if stats.Items != items || stats.Evaluated != items || stats.Workers != w {
+		t.Fatalf("stats = %+v, want Items=Evaluated=%d Workers=%d", stats, items, w)
+	}
+}
+
+func TestPartitionWorkerSlotsDense(t *testing.T) {
+	// Every slot index in [0, workerCount) is handed out exactly once, so
+	// w-indexed accumulator slices merge without gaps or collisions.
+	const items = 10000
+	w := WorkerCount(items, 6)
+	seen := make([]atomic.Int32, w)
+	Partition(items, w, func(wi int) RangeFunc {
+		if wi < 0 || wi >= w {
+			t.Errorf("slot %d out of range [0,%d)", wi, w)
+		} else {
+			seen[wi].Add(1)
+		}
+		return func(lo, hi int64) int64 { return hi - lo }
+	})
+	for i := range seen {
+		if n := seen[i].Load(); n != 1 {
+			t.Fatalf("slot %d assigned %d times", i, n)
+		}
+	}
+}
+
+func TestPartitionEvaluatedSumsRangeFuncReturns(t *testing.T) {
+	// Evaluated reflects what the range funcs report (e.g. pruned
+	// enumerations evaluate fewer points than indices).
+	const items = 1000
+	stats := Partition(items, WorkerCount(items, 4), func(int) RangeFunc {
+		return func(lo, hi int64) int64 {
+			var n int64
+			for i := lo; i < hi; i++ {
+				if i%2 == 0 {
+					n++
+				}
+			}
+			return n
+		}
+	})
+	if stats.Evaluated != items/2 {
+		t.Fatalf("Evaluated = %d, want %d", stats.Evaluated, items/2)
+	}
+	if stats.Items != items {
+		t.Fatalf("Items = %d, want %d", stats.Items, items)
+	}
+}
+
+func TestPartitionSerialAscendingOrder(t *testing.T) {
+	var got []int64
+	Partition(7, 1, func(int) RangeFunc {
+		return func(lo, hi int64) int64 {
+			for i := lo; i < hi; i++ {
+				got = append(got, i)
+			}
+			return hi - lo
+		}
+	})
+	for i, v := range got {
+		if int64(i) != v {
+			t.Fatalf("serial Partition out of order: %v", got)
+		}
+	}
+	if len(got) != 7 {
+		t.Fatalf("visited %d indices, want 7", len(got))
+	}
+}
+
+func TestWorkerCount(t *testing.T) {
+	if w := WorkerCount(100, 4); w != 4 {
+		t.Fatalf("WorkerCount(100,4) = %d", w)
+	}
+	if w := WorkerCount(3, 64); w != 3 {
+		t.Fatalf("WorkerCount(3,64) = %d, want clamp to items", w)
+	}
+	if w := WorkerCount(100, 0); w != runtime.GOMAXPROCS(0) && w != 100 {
+		t.Fatalf("WorkerCount(100,0) = %d", w)
+	}
+	if w := WorkerCount(0, 4); w != 1 {
+		t.Fatalf("WorkerCount(0,4) = %d, want 1", w)
+	}
+}
+
 func TestEachCoversEveryIndexOnce(t *testing.T) {
 	const items = 4096
 	var visits [items]atomic.Int32

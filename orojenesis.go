@@ -250,9 +250,11 @@ type ThreeLevelResult = multilevel.Result
 // DeriveThreeLevel exhaustively maps a workload onto a three-level
 // Snowcat (L1, L2, backing store): every point of its curves is one
 // mapping achieving its DRAM and L2 traffic simultaneously, which the
-// independent Fig. 7 probes cannot guarantee.
+// independent Fig. 7 probes cannot guarantee. The traversal runs on the
+// shared parallel engine across all cores; results are identical for any
+// worker count.
 func DeriveThreeLevel(e *Einsum, l1CapBytes int64) (*ThreeLevelResult, error) {
-	return multilevel.Derive(e, l1CapBytes)
+	return multilevel.Derive(e, l1CapBytes, multilevel.Options{})
 }
 
 // Heuristic mappers ---------------------------------------------------------
