@@ -1,16 +1,25 @@
 # Tier-1 verification plus the race-detector pass over the packages with
-# concurrent traversal code.
+# concurrent traversal code and the documentation gate.
 
 RACE_PKGS := ./internal/bound ./internal/pareto ./internal/fusion \
              ./internal/traverse ./internal/mapping \
              ./internal/multilevel ./internal/simba
 
-.PHONY: all vet build test race ci
+.PHONY: all vet build test race docs ci
 
 all: ci
 
 vet:
 	go vet ./...
+
+# Documentation gate: formatting, vet, and doc-comment coverage (package
+# docs everywhere; full exported-identifier docs in the core packages —
+# see internal/tools/doccheck).
+docs:
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
+	go vet ./...
+	go run ./internal/tools/doccheck
 
 build:
 	go build ./...
@@ -21,4 +30,4 @@ test:
 race:
 	go test -race $(RACE_PKGS)
 
-ci: vet build test race
+ci: vet build test race docs

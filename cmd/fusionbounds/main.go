@@ -6,9 +6,18 @@
 // Example (the paper's Fig. 18 pair):
 //
 //	fusionbounds -m 32768 -ops 4096x16384,16384x4096 -ascii
+//
+// Sharded derivation of the tiled-fusion sweep (see docs/shard-format.md):
+// each fleet member derives one slice of the FFMT template space into a
+// resumable partial-frontier file, merged back with shardmerge:
+//
+//	fusionbounds -m 32768 -ops 4096x16384,16384x4096 -shard 1/4 -out part1.json
+//	...                                              -shard 4/4 -out part4.json
+//	shardmerge -out tiled.json part1.json part2.json part3.json part4.json
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -18,6 +27,7 @@ import (
 
 	orojenesis "repro"
 	"repro/internal/cliutil"
+	"repro/internal/shard"
 )
 
 func main() {
@@ -32,6 +42,9 @@ func main() {
 	reductions := flag.Bool("reductions", true, "print tiled-vs-unfused reduction factors")
 	workers := flag.Int("workers", 0, "parallel evaluation goroutines (0 = GOMAXPROCS)")
 	stats := flag.Bool("stats", false, "print per-phase traversal statistics")
+	shardSpec := flag.String("shard", "", "derive only shard k/N of the tiled-fusion template sweep into -out (e.g. 1/4); resumes an interrupted run from the same file")
+	out := flag.String("out", "", "partial-frontier file for -shard (checkpoint target and final artifact)")
+	checkpoint := flag.Int64("checkpoint", 0, "template indices per checkpoint flush in -shard mode (0 = ~1/32 of the slice)")
 	flag.Parse()
 
 	opts := orojenesis.Options{Workers: *workers}
@@ -48,6 +61,11 @@ func main() {
 	}
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *shardSpec != "" {
+		runShard(chain, *shardSpec, *out, *checkpoint, *workers, *stats)
+		return
 	}
 	a, err := orojenesis.AnalyzeChain(chain, opts)
 	if err != nil {
@@ -93,6 +111,41 @@ func main() {
 			fmt.Printf("%d,%.3f\n", buf, float64(u)/float64(f))
 		}
 	}
+}
+
+// runShard derives one slice of the chain's FFMT template space into a
+// resumable partial-frontier file (the -shard k/N -out FILE mode).
+func runShard(chain *orojenesis.Chain, spec, out string, checkpoint int64, workers int, stats bool) {
+	if out == "" {
+		log.Fatal("-shard requires -out FILE for the partial frontier")
+	}
+	plan, err := shard.ParsePlan(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	job, err := shard.FusionTiledJob(chain, plan, workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ropts := shard.RunOptions{Path: out, CheckpointEvery: checkpoint}
+	if stats {
+		ropts.OnCheckpoint = func(m shard.Manifest) {
+			fmt.Printf("checkpoint: %d / %d template indices of shard %s\n",
+				m.CompletedThrough-m.RangeLo, m.RangeHi-m.RangeLo, plan)
+		}
+	}
+	p, rs, err := shard.Run(context.Background(), job, ropts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lo, hi := plan.Slice(job.Items)
+	fmt.Printf("chain: %d ops over M=%d\n", chain.Len(), chain.M)
+	if rs.Resumed {
+		fmt.Printf("resumed shard %s at index %d\n", plan, rs.ResumedFrom)
+	}
+	fmt.Printf("shard %s: template indices [%d, %d) of %d, %d candidates evaluated in %v\n",
+		plan, lo, hi, job.Items, rs.Evaluated, rs.Elapsed)
+	fmt.Printf("partial frontier: %d points -> %s\n", p.Curve.Len(), out)
 }
 
 func buildEinsumChain(spec string) (*orojenesis.Chain, error) {

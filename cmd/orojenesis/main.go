@@ -10,9 +10,18 @@
 //	orojenesis -conv P=16,Q=16,N=64,C=64,R=3,S=3,T=1,D=1 -oi
 //	orojenesis -gemm 96,80,72 -imperfect 16   # smoothed (Ruby-style) curve
 //	orojenesis -ratio
+//
+// Sharded derivation (see docs/shard-format.md): each fleet member derives
+// one contiguous slice of the mapspace into a resumable partial-frontier
+// file, and shardmerge recombines them into the single-process curve:
+//
+//	orojenesis -gemm 4096,4096,4096 -shard 1/4 -out part1.json
+//	...                             -shard 4/4 -out part4.json
+//	shardmerge -out curve.json part1.json part2.json part3.json part4.json
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -20,6 +29,7 @@ import (
 
 	orojenesis "repro"
 	"repro/internal/cliutil"
+	"repro/internal/shard"
 )
 
 func main() {
@@ -40,6 +50,9 @@ func main() {
 	imperfect := flag.Int("imperfect", 0, "extra imperfect-factor samples per rank (0 = perfect factors only)")
 	workers := flag.Int("workers", 0, "parallel evaluation goroutines (0 = GOMAXPROCS)")
 	stats := flag.Bool("stats", false, "print traversal statistics (workers used, mappings/sec)")
+	shardSpec := flag.String("shard", "", "derive only shard k/N of the mapspace into -out (e.g. 1/4); resumes an interrupted run from the same file")
+	out := flag.String("out", "", "partial-frontier file for -shard (checkpoint target and final artifact)")
+	checkpoint := flag.Int64("checkpoint", 0, "tiling indices per checkpoint flush in -shard mode (0 = ~1/32 of the slice)")
 	flag.Parse()
 
 	opts := orojenesis.Options{ImperfectExtra: *imperfect, Workers: *workers}
@@ -55,6 +68,11 @@ func main() {
 	e, err := buildWorkload(*gemm, *bmm, *gbmm, *conv, *einsumExpr)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *shardSpec != "" {
+		runShard(e, opts, *shardSpec, *out, *checkpoint, *stats)
+		return
 	}
 	a, err := orojenesis.Analyze(e, opts)
 	if err != nil {
@@ -105,6 +123,41 @@ func main() {
 			}
 		}
 	}
+}
+
+// runShard derives one slice of e's mapspace into a resumable
+// partial-frontier file (the -shard k/N -out FILE mode).
+func runShard(e *orojenesis.Einsum, opts orojenesis.Options, spec, out string, checkpoint int64, stats bool) {
+	if out == "" {
+		log.Fatal("-shard requires -out FILE for the partial frontier")
+	}
+	plan, err := shard.ParsePlan(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	job, err := shard.BoundJob(e, opts, plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ropts := shard.RunOptions{Path: out, CheckpointEvery: checkpoint}
+	if stats {
+		ropts.OnCheckpoint = func(m shard.Manifest) {
+			fmt.Printf("checkpoint: %d / %d indices of shard %s\n",
+				m.CompletedThrough-m.RangeLo, m.RangeHi-m.RangeLo, plan)
+		}
+	}
+	p, rs, err := shard.Run(context.Background(), job, ropts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lo, hi := plan.Slice(job.Items)
+	fmt.Printf("workload: %s\n", e)
+	if rs.Resumed {
+		fmt.Printf("resumed shard %s at index %d\n", plan, rs.ResumedFrom)
+	}
+	fmt.Printf("shard %s: indices [%d, %d) of %d, %d mappings evaluated in %v\n",
+		plan, lo, hi, job.Items, rs.Evaluated, rs.Elapsed)
+	fmt.Printf("partial frontier: %d points -> %s\n", p.Curve.Len(), out)
 }
 
 func buildWorkload(gemm, bmm, gbmm, conv, einsumExpr string) (*orojenesis.Einsum, error) {

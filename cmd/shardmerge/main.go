@@ -1,0 +1,91 @@
+// Command shardmerge recombines the partial-frontier files written by
+// sharded orojenesis/fusionbounds runs (-shard k/N -out FILE) into the
+// full ski-slope curve — byte-identical to the curve a single-process run
+// derives. It refuses, with a descriptive error, any set of partials that
+// does not form the complete shard set of one derivation: mismatched
+// workload or options digests, differing engine versions, missing,
+// duplicated or incomplete shards. See docs/shard-format.md for the file
+// format.
+//
+// Examples:
+//
+//	shardmerge -out curve.json part1.json part2.json part3.json part4.json
+//	shardmerge -csv part*.json > curve.csv
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/pareto"
+	"repro/internal/shape"
+	"repro/internal/shard"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("shardmerge: ")
+
+	out := flag.String("out", "", "write the merged curve as JSON to this file (default: stdout)")
+	csv := flag.Bool("csv", false, "emit two-column CSV instead of JSON")
+	summary := flag.Bool("summary", true, "print a merge summary to stderr")
+	flag.Parse()
+
+	paths := flag.Args()
+	if len(paths) == 0 {
+		log.Fatal("no partial-frontier files given (usage: shardmerge -out curve.json part1.json part2.json ...)")
+	}
+
+	partials := make([]*shard.Partial, len(paths))
+	for i, path := range paths {
+		p, err := shard.ReadPartial(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		partials[i] = p
+	}
+	merged, err := shard.Merge(partials...)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *summary {
+		m := &partials[0].Manifest
+		fmt.Fprintf(os.Stderr, "merged %d shards of %q (%s, %d indices): %d points, buf %s..%s\n",
+			m.ShardCount, m.Workload, m.Kind, m.Items, merged.Len(),
+			shape.FormatBytes(merged.MinBufferBytes()),
+			shape.FormatBytes(merged.MaxEffectualBufferBytes()))
+	}
+
+	if err := writeCurve(merged, *out, *csv); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// writeCurve emits the merged curve as JSON (annotations included) or as
+// two-column CSV, to path or stdout.
+func writeCurve(c *pareto.Curve, path string, csv bool) error {
+	w := os.Stdout
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if csv {
+		_, err := c.WriteTo(w)
+		return err
+	}
+	data, err := json.Marshal(c)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

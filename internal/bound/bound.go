@@ -79,6 +79,33 @@ func (o Options) Validate() error {
 	return nil
 }
 
+// Canonical renders the result-affecting options as a stable string — the
+// input to the shard manifest's options digest. Workers is deliberately
+// excluded: the curve is byte-identical for every worker count, so shards
+// run with different parallelism must still merge.
+func (o Options) Canonical() string {
+	return fmt.Sprintf("bound{imperfect_extra=%d charge_spills=%t}", o.ImperfectExtra, o.ChargeSpills)
+}
+
+// newEnum builds the mapspace enumeration selected by opts.
+func newEnum(e *einsum.Einsum, opts Options) *mapping.Enum {
+	if opts.ImperfectExtra > 0 {
+		return mapping.NewImperfectEnum(e, opts.ImperfectExtra)
+	}
+	return mapping.NewEnum(e)
+}
+
+// Space returns the size of the flat tiling index space Derive traverses
+// for e under opts — the [0, Space) range that DeriveRange slices and a
+// cross-process shard plan (internal/shard) divides. Like Derive it panics
+// on invalid Options.
+func Space(e *einsum.Einsum, opts Options) int64 {
+	if err := opts.Validate(); err != nil {
+		panic(err.Error())
+	}
+	return newEnum(e, opts).Tilings()
+}
+
 // Derive runs the Orojenesis flow for a single Einsum and returns its
 // ski-slope curve annotated with the workload's algorithmic minimum.
 //
@@ -89,20 +116,29 @@ func (o Options) Validate() error {
 // invalid Options; callers with an error path should check
 // Options.Validate first.
 func Derive(e *einsum.Einsum, opts Options) Result {
+	return DeriveRange(e, opts, 0, Space(e, opts))
+}
+
+// DeriveRange derives the partial ski-slope frontier over the global
+// tiling indices [lo, hi) of e's mapspace under opts — one shard's (or one
+// checkpoint block's) share of the full traversal. Deriving a disjoint
+// cover of [0, Space(e, opts)) and merging the partial curves with
+// pareto.Union reproduces Derive's curve byte-for-byte; the annotations
+// are already set on every partial, since they depend only on the
+// workload. Panics on invalid Options or an out-of-bounds range.
+func DeriveRange(e *einsum.Einsum, opts Options, lo, hi int64) Result {
 	if err := opts.Validate(); err != nil {
 		panic(err.Error())
 	}
 	start := time.Now()
 
 	imperfect := opts.ImperfectExtra > 0
-	var en *mapping.Enum
-	if imperfect {
-		en = mapping.NewImperfectEnum(e, opts.ImperfectExtra)
-	} else {
-		en = mapping.NewEnum(e)
+	en := newEnum(e, opts)
+	if lo < 0 || hi < lo || hi > en.Tilings() {
+		panic(fmt.Sprintf("bound: DeriveRange [%d, %d) outside [0, %d)", lo, hi, en.Tilings()))
 	}
 
-	curve, ts := traverse.Frontier(en.Tilings(), opts.Workers, func() traverse.ChunkFunc {
+	curve, ts := traverse.FrontierRange(lo, hi, opts.Workers, func() traverse.ChunkFunc {
 		ev := snowcat.NewEvaluator(e)
 		eval := ev.EvaluateCompact
 		switch {

@@ -1,6 +1,8 @@
 // Package cliutil holds the flag-parsing helpers shared by the command
 // line tools: dimension lists, byte sizes with binary suffixes, named
-// capacity levels and convolution configurations.
+// capacity levels and convolution configurations. It carries no modeling
+// logic from the paper — only the shared, tested plumbing that lets each
+// cmd/ tool describe the workloads of Figs. 10-14 on its command line.
 package cliutil
 
 import (

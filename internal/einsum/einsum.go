@@ -301,6 +301,16 @@ func (e *Einsum) String() string {
 	return b.String()
 }
 
+// Canonical renders a complete, deterministic encoding of the Einsum —
+// name, element size, ranks and every tensor projection — for workload
+// digests (internal/shard): two Einsums with equal Canonical strings have
+// identical mapspaces and identical derived curves. Unlike String it
+// includes the name and element size, so curves derived for differently
+// labelled but otherwise equal workloads are still distinguished.
+func (e *Einsum) Canonical() string {
+	return fmt.Sprintf("einsum{name=%s es=%d %s}", e.Name, e.ElementSize, e.String())
+}
+
 func tensorSig(t *Tensor) string {
 	var b strings.Builder
 	b.WriteString(t.Name)

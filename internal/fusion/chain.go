@@ -14,6 +14,7 @@ package fusion
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/bound"
 	"repro/internal/einsum"
@@ -219,6 +220,25 @@ func (c *Chain) Validate() error {
 
 // Len returns the number of ops in the chain.
 func (c *Chain) Len() int { return len(c.Ops) }
+
+// Canonical renders a complete, deterministic encoding of the chain — M,
+// element size, and every op's template-relevant fields — for workload
+// digests (internal/shard): two chains with equal Canonical strings have
+// identical FFMT template spaces and identical tiled-fusion curves.
+func (c *Chain) Canonical() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chain{name=%s m=%d es=%d ops=[", c.Name, c.M, c.ElementSize)
+	for i := range c.Ops {
+		op := &c.Ops[i]
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s{in=%d out=%d winst=%d rows=%d notile=%t halo=%d}",
+			op.Name, op.InW, op.OutW, op.WInst, op.RowsPerInst, op.NoOutputTiling, op.HaloRows)
+	}
+	b.WriteString("]}")
+	return b.String()
+}
 
 // Instances returns the number of weight instances of op e.
 func (c *Chain) Instances(e int) int64 { return c.M / c.Ops[e].RowsPerInst }

@@ -38,37 +38,83 @@ func TiledFusion(c *Chain) (*pareto.Curve, error) {
 // sweep scales with cores and the curve is byte-identical for every
 // worker count.
 func TiledFusionStats(c *Chain, workers int) (*pareto.Curve, traverse.Stats, error) {
-	if err := c.Validate(); err != nil {
+	space, err := TiledFusionSpace(c)
+	if err != nil {
 		return nil, traverse.Stats{}, err
 	}
-	if len(c.Ops) < 2 {
-		return nil, traverse.Stats{}, fmt.Errorf("fusion: TiledFusion needs >= 2 ops, chain %s has %d", c.Name, len(c.Ops))
-	}
+	return TiledFusionRange(c, 0, space, workers)
+}
 
+// tiledSpace captures the flattened FFMT template enumeration of a chain:
+// flat index idx decodes (innermost first) into a residency subset, an
+// N2(0) output-tiling factor and an M0 block height.
+type tiledSpace struct {
+	m0Options, n2Options, lastTileOptions []int64
+	subsets                               int64
+}
+
+func newTiledSpace(c *Chain) (tiledSpace, error) {
+	if err := c.Validate(); err != nil {
+		return tiledSpace{}, err
+	}
+	if len(c.Ops) < 2 {
+		return tiledSpace{}, fmt.Errorf("fusion: TiledFusion needs >= 2 ops, chain %s has %d", c.Name, len(c.Ops))
+	}
 	e0 := &c.Ops[0]
 	last := len(c.Ops) - 1
-
-	m0Options := shape.Divisors(c.M)
-	n2Options := shape.Divisors(e0.OutW)
+	sp := tiledSpace{
+		m0Options: shape.Divisors(c.M),
+		n2Options: shape.Divisors(e0.OutW),
+		subsets:   int64(1) << len(c.Ops),
+	}
 	if e0.NoOutputTiling {
-		n2Options = []int64{1}
+		sp.n2Options = []int64{1}
 	}
-	lastTileOptions := shape.Divisors(c.Ops[last].OutW)
+	sp.lastTileOptions = shape.Divisors(c.Ops[last].OutW)
 	if c.Ops[last].NoOutputTiling {
-		lastTileOptions = []int64{1}
+		sp.lastTileOptions = []int64{1}
 	}
+	return sp, nil
+}
 
-	subsets := int64(1) << len(c.Ops)
-	items := int64(len(m0Options)) * int64(len(n2Options)) * subsets
-	curve, ts := traverse.Frontier(items, workers, func() traverse.ChunkFunc {
+func (sp tiledSpace) items() int64 {
+	return int64(len(sp.m0Options)) * int64(len(sp.n2Options)) * sp.subsets
+}
+
+// TiledFusionSpace returns the size of the flat FFMT template index space
+// TiledFusion sweeps for c — the [0, Space) range that TiledFusionRange
+// slices and a cross-process shard plan (internal/shard) divides.
+func TiledFusionSpace(c *Chain) (int64, error) {
+	sp, err := newTiledSpace(c)
+	if err != nil {
+		return 0, err
+	}
+	return sp.items(), nil
+}
+
+// TiledFusionRange derives the partial tiled-fusion frontier over the
+// global template indices [lo, hi) — one shard's (or one checkpoint
+// block's) share of the sweep. Deriving a disjoint cover of
+// [0, TiledFusionSpace(c)) and merging the partial curves with
+// pareto.Union reproduces TiledFusionStats' curve byte-for-byte; the
+// annotations are already set on every partial.
+func TiledFusionRange(c *Chain, lo, hi int64, workers int) (*pareto.Curve, traverse.Stats, error) {
+	sp, err := newTiledSpace(c)
+	if err != nil {
+		return nil, traverse.Stats{}, err
+	}
+	if lo < 0 || hi < lo || hi > sp.items() {
+		return nil, traverse.Stats{}, fmt.Errorf("fusion: TiledFusionRange [%d, %d) outside [0, %d)", lo, hi, sp.items())
+	}
+	curve, ts := traverse.FrontierRange(lo, hi, workers, func() traverse.ChunkFunc {
 		return func(lo, hi int64, b *pareto.Builder) int64 {
 			var count int64
 			for idx := lo; idx < hi; idx++ {
-				f := int(idx % subsets)
-				rest := idx / subsets
-				n2 := n2Options[rest%int64(len(n2Options))]
-				m0 := m0Options[rest/int64(len(n2Options))]
-				count += evalTemplate(c, b, m0, n2, f, lastTileOptions)
+				f := int(idx % sp.subsets)
+				rest := idx / sp.subsets
+				n2 := sp.n2Options[rest%int64(len(sp.n2Options))]
+				m0 := sp.m0Options[rest/int64(len(sp.n2Options))]
+				count += evalTemplate(c, b, m0, n2, f, sp.lastTileOptions)
 			}
 			return count
 		}

@@ -1,8 +1,10 @@
 // Package mapping represents mappings of an Einsum onto the Snowcat proxy
-// architecture: a two-level tiling (buffer-resident inner tile + backing
-// store outer loops) with an explicit outer-loop order. It also enumerates
-// the complete Snowcat mapspace for a workload, which is what the
-// Orojenesis flow traverses exhaustively.
+// architecture (paper Sec. III-A, Fig. 4): a two-level tiling
+// (buffer-resident inner tile + backing store outer loops) with an
+// explicit outer-loop order. It also enumerates the complete Snowcat
+// mapspace for a workload — every perfect two-level tiling × every outer
+// permutation — which is what the Orojenesis flow (Fig. 5) traverses
+// exhaustively, plus the Ruby-style imperfect-factor extension.
 package mapping
 
 import (

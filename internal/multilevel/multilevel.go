@@ -81,27 +81,58 @@ type derState struct {
 	joint map[int64]jointEntry
 }
 
+// Space returns the size of the flat three-split combination space Derive
+// walks for e: the product over ranks of their three-split counts. It is
+// the [0, Space) range DeriveRange slices and a cross-process shard plan
+// (internal/shard) divides.
+func Space(e *einsum.Einsum) (int64, error) {
+	if err := e.Validate(); err != nil {
+		return 0, err
+	}
+	combos := int64(1)
+	for _, r := range e.Ranks {
+		combos *= int64(len(shape.ThreeSplits(r.Shape)))
+	}
+	return combos, nil
+}
+
 // Derive exhaustively walks the three-level mapspace of e. Only mappings
 // whose L1 footprint fits l1CapBytes are kept. Intended for moderate
 // shapes: the space grows with the cube of the per-rank three-split
 // counts.
 func Derive(e *einsum.Einsum, l1CapBytes int64, opts Options) (*Result, error) {
-	if err := e.Validate(); err != nil {
+	combos, err := Space(e)
+	if err != nil {
+		return nil, err
+	}
+	return DeriveRange(e, l1CapBytes, 0, combos, opts)
+}
+
+// DeriveRange walks the global three-split combinations [lo, hi) of e's
+// space — one shard's share of the full traversal. Partial Results over a
+// disjoint cover of [0, Space(e)) recombine with Merge into the
+// byte-identical full-range Result: Pareto union and the joint min-rule
+// are both insensitive to how the underlying mappings were partitioned.
+func DeriveRange(e *einsum.Einsum, l1CapBytes int64, lo, hi int64, opts Options) (*Result, error) {
+	combosTotal, err := Space(e)
+	if err != nil {
 		return nil, err
 	}
 	if l1CapBytes < 1 {
 		return nil, fmt.Errorf("multilevel: non-positive L1 capacity %d", l1CapBytes)
 	}
+	if lo < 0 || hi < lo || hi > combosTotal {
+		return nil, fmt.Errorf("multilevel: DeriveRange [%d, %d) outside [0, %d)", lo, hi, combosTotal)
+	}
 
 	n := len(e.Ranks)
 	names := make([]string, n)
 	options := make([][]shape.ThreeSplit, n)
-	combos := int64(1)
 	for i, r := range e.Ranks {
 		names[i] = r.Name
 		options[i] = shape.ThreeSplits(r.Shape)
-		combos *= int64(len(options[i]))
 	}
+	combos := hi - lo
 
 	tensors := make([]*einsum.Tensor, len(e.Tensors))
 	for i := range e.Tensors {
@@ -130,17 +161,18 @@ func Derive(e *einsum.Einsum, l1CapBytes int64, opts Options) (*Result, error) {
 		fp1 := make([]int64, len(tensors))
 		loops := make([]nest.Loop, 2*n) // outer nest, then mid nest
 
-		return func(lo, hi int64) int64 {
-			// Decode lo into mixed-radix digits (last rank fastest), then
-			// advance odometer-style — the serial enumeration order.
-			rem := lo
+		return func(clo, chi int64) int64 {
+			// Decode the global start index lo+clo into mixed-radix digits
+			// (last rank fastest), then advance odometer-style — the serial
+			// enumeration order.
+			rem := lo + clo
 			for i := n - 1; i >= 0; i-- {
 				k := int64(len(options[i]))
 				idx[i] = int(rem % k)
 				rem /= k
 			}
 			var count int64
-			for flat := lo; flat < hi; flat++ {
+			for flat := clo; flat < chi; flat++ {
 				for i, name := range names {
 					ts := options[i][idx[i]]
 					tiles0[name] = ts.L0
@@ -223,6 +255,49 @@ func Derive(e *einsum.Einsum, l1CapBytes int64, opts Options) (*Result, error) {
 	res.L2 = pareto.Union(l2Curves...)
 	res.L2.AlgoMinBytes = e.AlgorithmicMinBytes()
 	res.L2.TotalOperandBytes = e.TotalOperandBytes()
+	return res, nil
+}
+
+// Merge recombines partial Results derived over disjoint slices of one
+// workload's space (DeriveRange) into the Result a full-range Derive
+// produces: curves are Pareto-unioned, joint tables merged under the
+// commutative min-rule, and mapping counts summed. All partials must share
+// one L1 capacity — mixing capacities would silently change the feasibility
+// filter. Stats are aggregated (Items/Evaluated summed, Elapsed summed as
+// total CPU-side derivation time).
+func Merge(parts ...*Result) (*Result, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("multilevel: Merge: no partial results")
+	}
+	res := &Result{L1CapacityBytes: parts[0].L1CapacityBytes, joint: map[int64]jointEntry{}}
+	dramCurves := make([]*pareto.Curve, 0, len(parts))
+	l2Curves := make([]*pareto.Curve, 0, len(parts))
+	for i, p := range parts {
+		if p == nil {
+			return nil, fmt.Errorf("multilevel: Merge: partial %d is nil", i)
+		}
+		if p.L1CapacityBytes != res.L1CapacityBytes {
+			return nil, fmt.Errorf("multilevel: Merge: partial %d has L1 capacity %d, partial 0 has %d",
+				i, p.L1CapacityBytes, res.L1CapacityBytes)
+		}
+		dramCurves = append(dramCurves, p.DRAM)
+		l2Curves = append(l2Curves, p.L2)
+		res.Mappings += p.Mappings
+		res.Stats.Items += p.Stats.Items
+		res.Stats.Evaluated += p.Stats.Evaluated
+		res.Stats.Elapsed += p.Stats.Elapsed
+		for key, je := range p.joint {
+			if got, ok := res.joint[key]; !ok || got.better(je.dram, je.l2) {
+				res.joint[key] = je
+			}
+		}
+	}
+	res.DRAM = pareto.Union(dramCurves...)
+	res.DRAM.AlgoMinBytes = parts[0].DRAM.AlgoMinBytes
+	res.DRAM.TotalOperandBytes = parts[0].DRAM.TotalOperandBytes
+	res.L2 = pareto.Union(l2Curves...)
+	res.L2.AlgoMinBytes = parts[0].L2.AlgoMinBytes
+	res.L2.TotalOperandBytes = parts[0].L2.TotalOperandBytes
 	return res, nil
 }
 

@@ -1,0 +1,94 @@
+package multilevel
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/einsum"
+)
+
+// TestDeriveRangeMergeParity pins the three-level sharding contract:
+// partial Results over a disjoint cover of the combination space merge to
+// the same curves, joint answers and mapping counts as a full-range run.
+func TestDeriveRangeMergeParity(t *testing.T) {
+	e := einsum.GEMM("g", 16, 16, 16)
+	const l1 = 2 << 10
+	space, err := Space(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Derive(e, l1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cuts := []int64{0, space / 7, space / 2, space}
+	parts := make([]*Result, 0, len(cuts)-1)
+	for i := 0; i+1 < len(cuts); i++ {
+		p, err := DeriveRange(e, l1, cuts[i], cuts[i+1], Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts = append(parts, p)
+	}
+	merged, err := Merge(parts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, pair := range []struct {
+		name      string
+		got, want interface{ MarshalJSON() ([]byte, error) }
+	}{
+		{"DRAM", merged.DRAM, full.DRAM},
+		{"L2", merged.L2, full.L2},
+	} {
+		g, _ := json.Marshal(pair.got)
+		w, _ := json.Marshal(pair.want)
+		if string(g) != string(w) {
+			t.Fatalf("%s: merged curve differs from full derive\n got %s\nwant %s", pair.name, g, w)
+		}
+	}
+	if merged.Mappings != full.Mappings {
+		t.Fatalf("merged evaluated %d mappings, full derive %d", merged.Mappings, full.Mappings)
+	}
+	for _, cap := range []int64{4 << 10, 32 << 10, 1 << 20} {
+		ml, md, mok := merged.MinL2GivenOptimalDRAM(cap)
+		fl, fd, fok := full.MinL2GivenOptimalDRAM(cap)
+		if ml != fl || md != fd || mok != fok {
+			t.Fatalf("cap %d: merged joint answer (%d, %d, %t) != full (%d, %d, %t)", cap, ml, md, mok, fl, fd, fok)
+		}
+	}
+}
+
+func TestMergeRefusesMixedCapacities(t *testing.T) {
+	e := einsum.GEMM("g", 8, 8, 8)
+	space, err := Space(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := DeriveRange(e, 1<<10, 0, space/2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DeriveRange(e, 2<<10, space/2, space, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Merge(a, b); err == nil {
+		t.Fatal("merge combined partials with different L1 capacities")
+	}
+}
+
+func TestDeriveRangeRejectsOutOfBounds(t *testing.T) {
+	e := einsum.GEMM("g", 8, 8, 8)
+	space, err := Space(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range [][2]int64{{-1, 2}, {0, space + 1}, {5, 4}} {
+		if _, err := DeriveRange(e, 1<<10, r[0], r[1], Options{}); err == nil {
+			t.Errorf("DeriveRange[%d, %d) accepted", r[0], r[1])
+		}
+	}
+}

@@ -29,7 +29,13 @@ func (c *Curve) MarshalJSON() ([]byte, error) {
 }
 
 // UnmarshalJSON decodes a curve, re-deriving the Pareto frontier so that
-// hand-edited files cannot violate the invariants.
+// hand-edited files cannot violate the invariants, and validating the
+// annotations against the points: annotations must be non-negative, and a
+// positive AlgoMinBytes must not exceed any point's access count — the
+// algorithmic minimum is a lower bound on every mapping's traffic, so a
+// curve that dips below its own annotation is corrupt, not conservative.
+// (TotalOperandBytes has no point-relative invariant: fusion transforms
+// like ShiftBuffer legitimately move buffer requirements past it.)
 func (c *Curve) UnmarshalJSON(data []byte) error {
 	var cj curveJSON
 	if err := json.Unmarshal(data, &cj); err != nil {
@@ -38,6 +44,20 @@ func (c *Curve) UnmarshalJSON(data []byte) error {
 	for _, p := range cj.Points {
 		if p.BufferBytes < 1 || p.AccessBytes < 1 {
 			return fmt.Errorf("pareto: non-positive point %+v", p)
+		}
+	}
+	if cj.AlgoMinBytes < 0 {
+		return fmt.Errorf("pareto: negative algo_min_bytes %d", cj.AlgoMinBytes)
+	}
+	if cj.TotalOperandBytes < 0 {
+		return fmt.Errorf("pareto: negative total_operand_bytes %d", cj.TotalOperandBytes)
+	}
+	if cj.AlgoMinBytes > 0 {
+		for _, p := range cj.Points {
+			if p.AccessBytes < cj.AlgoMinBytes {
+				return fmt.Errorf("pareto: point %+v moves less than the annotated algorithmic minimum %d bytes",
+					p, cj.AlgoMinBytes)
+			}
 		}
 	}
 	c.pts = frontier(cj.Points)

@@ -103,3 +103,71 @@ func TestReadCSVErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestUnmarshalValidatesAnnotations(t *testing.T) {
+	cases := []struct {
+		name string
+		raw  string
+	}{
+		{"negative algo min", `{"algo_min_bytes":-1,"points":[{"BufferBytes":10,"AccessBytes":100}]}`},
+		{"negative operand total", `{"total_operand_bytes":-5,"points":[{"BufferBytes":10,"AccessBytes":100}]}`},
+		{"point below algo min", `{"algo_min_bytes":200,"points":[
+			{"BufferBytes":10,"AccessBytes":500},
+			{"BufferBytes":40,"AccessBytes":100}]}`},
+	}
+	for _, c := range cases {
+		var cv Curve
+		if err := json.Unmarshal([]byte(c.raw), &cv); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+
+	// The boundary case is legal: a point exactly at the algorithmic
+	// minimum is the bottom of the ski slope.
+	var ok Curve
+	raw := `{"algo_min_bytes":100,"total_operand_bytes":300,"points":[{"BufferBytes":10,"AccessBytes":100}]}`
+	if err := json.Unmarshal([]byte(raw), &ok); err != nil {
+		t.Fatalf("curve at its algorithmic minimum rejected: %v", err)
+	}
+}
+
+// TestAnnotatedRoundTripDerived pins round-tripping of real derived
+// curves (which always satisfy the annotation invariants), including
+// through curve algebra that transforms annotations.
+func TestAnnotatedRoundTripDerived(t *testing.T) {
+	base := FromPoints([]Point{
+		{BufferBytes: 64, AccessBytes: 4000},
+		{BufferBytes: 256, AccessBytes: 1200},
+		{BufferBytes: 1024, AccessBytes: 600},
+	})
+	base.AlgoMinBytes = 600
+	base.TotalOperandBytes = 900
+
+	for name, c := range map[string]*Curve{
+		"base":    base,
+		"sum":     Sum(base, base),
+		"scaled":  base.ScaleAccesses(3),
+		"shifted": base.ShiftBuffer(512),
+		"merged":  MergeMin(base, base.ShiftBuffer(128)),
+	} {
+		data, err := json.Marshal(c)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var back Curve
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("%s: round trip rejected: %v", name, err)
+		}
+		if back.AlgoMinBytes != c.AlgoMinBytes || back.TotalOperandBytes != c.TotalOperandBytes {
+			t.Fatalf("%s: annotations changed: (%d, %d) -> (%d, %d)", name,
+				c.AlgoMinBytes, c.TotalOperandBytes, back.AlgoMinBytes, back.TotalOperandBytes)
+		}
+		data2, err := json.Marshal(&back)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if string(data) != string(data2) {
+			t.Fatalf("%s: round trip not byte-stable\n a %s\n b %s", name, data, data2)
+		}
+	}
+}

@@ -1,7 +1,8 @@
 // Package shape provides small integer and size utilities used throughout
-// the Orojenesis flow: divisor enumeration for perfect-factor tilings,
-// two-level factorizations of rank shapes, and human-readable byte
-// formatting for reports.
+// the Orojenesis flow: divisor enumeration for the perfect-factor tilings
+// the paper's mapspace is built from (Sec. III-A — the source of the
+// step pattern in every ski-slope figure), two-level factorizations of
+// rank shapes, and human-readable byte formatting for reports.
 package shape
 
 import (

@@ -1,0 +1,68 @@
+package shard
+
+import (
+	"fmt"
+
+	"repro/internal/bound"
+	"repro/internal/einsum"
+	"repro/internal/fusion"
+	"repro/internal/pareto"
+)
+
+// BoundJob builds the shard job for a single-Einsum bound derivation:
+// plan slice of bound.Space(e, opts), derived with bound.DeriveRange.
+// Every fleet member constructing its job this way (same workload, same
+// options, any worker count) produces partials that merge; workers only
+// affects how fast one shard runs.
+func BoundJob(e *einsum.Einsum, opts bound.Options, plan Plan) (Job, error) {
+	if err := e.Validate(); err != nil {
+		return Job{}, err
+	}
+	if err := opts.Validate(); err != nil {
+		return Job{}, err
+	}
+	if err := plan.Validate(); err != nil {
+		return Job{}, err
+	}
+	return Job{
+		Kind:           KindBound,
+		Workload:       e.String(),
+		WorkloadDigest: Digest(e.Canonical()),
+		OptionsDigest:  Digest(opts.Canonical()),
+		Items:          bound.Space(e, opts),
+		Plan:           plan,
+		Derive: func(lo, hi int64) (*pareto.Curve, int64, error) {
+			r := bound.DeriveRange(e, opts, lo, hi)
+			return r.Curve, r.Stats.MappingsEvaluated, nil
+		},
+	}, nil
+}
+
+// FusionTiledJob builds the shard job for a chain's tiled-fusion sweep:
+// plan slice of fusion.TiledFusionSpace(c), derived with
+// fusion.TiledFusionRange. The FFMT template sweep has no
+// result-affecting options, so the options digest covers only the kind.
+func FusionTiledJob(c *fusion.Chain, plan Plan, workers int) (Job, error) {
+	if err := plan.Validate(); err != nil {
+		return Job{}, err
+	}
+	space, err := fusion.TiledFusionSpace(c)
+	if err != nil {
+		return Job{}, err
+	}
+	return Job{
+		Kind:           KindFusionTiled,
+		Workload:       fmt.Sprintf("%s: %d ops over M=%d", c.Name, len(c.Ops), c.M),
+		WorkloadDigest: Digest(c.Canonical()),
+		OptionsDigest:  Digest("fusion-tiled{}"),
+		Items:          space,
+		Plan:           plan,
+		Derive: func(lo, hi int64) (*pareto.Curve, int64, error) {
+			curve, ts, err := fusion.TiledFusionRange(c, lo, hi, workers)
+			if err != nil {
+				return nil, 0, err
+			}
+			return curve, ts.Evaluated, nil
+		},
+	}, nil
+}

@@ -1,0 +1,83 @@
+package shard
+
+import (
+	"fmt"
+
+	"repro/internal/pareto"
+)
+
+// Merge validates that the partials are the complete set of shards of one
+// derivation and Pareto-unions them into the full curve — byte-identical
+// to the single-process result, because the frontier of a union equals
+// the frontier of the per-part frontiers' union.
+//
+// Merge refuses, with an error naming the offending shard and field, any
+// set where: manifests disagree on engine, kind, workload or options
+// digest, index-space size or shard count; a shard is missing, duplicated
+// or incomplete; or the curves' workload annotations diverge (which a
+// matching workload digest should make impossible, so a divergence means
+// a corrupted or hand-edited file).
+func Merge(partials ...*Partial) (*pareto.Curve, error) {
+	if len(partials) == 0 {
+		return nil, fmt.Errorf("shard: merge: no partial frontiers")
+	}
+	ref := &partials[0].Manifest
+	if err := ref.Validate(); err != nil {
+		return nil, fmt.Errorf("shard: merge: partial 0: %w", err)
+	}
+	if len(partials) != ref.ShardCount {
+		return nil, fmt.Errorf("shard: merge: have %d partial frontiers, plan has %d shards", len(partials), ref.ShardCount)
+	}
+	seen := make([]bool, ref.ShardCount)
+	curves := make([]*pareto.Curve, len(partials))
+	for i, p := range partials {
+		m := &p.Manifest
+		if err := m.Validate(); err != nil {
+			return nil, fmt.Errorf("shard: merge: partial %d: %w", i, err)
+		}
+		if err := ref.CompatibleWith(m); err != nil {
+			return nil, fmt.Errorf("shard: merge: partial %d does not belong to this derivation: %v", i, err)
+		}
+		if seen[m.ShardIndex] {
+			return nil, fmt.Errorf("shard: merge: shard %d/%d appears more than once", m.ShardIndex+1, m.ShardCount)
+		}
+		seen[m.ShardIndex] = true
+		if !m.Complete() {
+			return nil, fmt.Errorf("shard: merge: shard %d/%d is incomplete (evaluated through %d of [%d, %d)); resume it first",
+				m.ShardIndex+1, m.ShardCount, m.CompletedThrough, m.RangeLo, m.RangeHi)
+		}
+		if p.Curve.AlgoMinBytes != partials[0].Curve.AlgoMinBytes ||
+			p.Curve.TotalOperandBytes != partials[0].Curve.TotalOperandBytes {
+			return nil, fmt.Errorf("shard: merge: shard %d/%d curve annotations (%d, %d) disagree with shard %d/%d (%d, %d)",
+				m.ShardIndex+1, m.ShardCount, p.Curve.AlgoMinBytes, p.Curve.TotalOperandBytes,
+				ref.ShardIndex+1, ref.ShardCount, partials[0].Curve.AlgoMinBytes, partials[0].Curve.TotalOperandBytes)
+		}
+		curves[i] = p.Curve
+	}
+	for k, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("shard: merge: shard %d/%d is missing", k+1, ref.ShardCount)
+		}
+	}
+	merged := pareto.Union(curves...)
+	merged.AlgoMinBytes = partials[0].Curve.AlgoMinBytes
+	merged.TotalOperandBytes = partials[0].Curve.TotalOperandBytes
+	return merged, nil
+}
+
+// MergeFiles reads the named partial-frontier files and merges them.
+func MergeFiles(paths ...string) (*pareto.Curve, error) {
+	partials := make([]*Partial, len(paths))
+	for i, path := range paths {
+		p, err := ReadPartial(path)
+		if err != nil {
+			return nil, err
+		}
+		partials[i] = p
+	}
+	c, err := Merge(partials...)
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,0 +1,315 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/bound"
+	"repro/internal/einsum"
+	"repro/internal/fusion"
+	"repro/internal/pareto"
+)
+
+// curveBytes is the byte-for-byte comparison the acceptance criterion
+// pins: the merged curve must serialize identically to the single-process
+// one, annotations included.
+func curveBytes(t *testing.T, c *pareto.Curve) string {
+	t.Helper()
+	b, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// runShards executes every shard of an N-way plan to completion through
+// the real file-backed Run path and returns the written file names.
+func runShards(t *testing.T, dir string, n int, mkJob func(plan Plan) Job) []string {
+	t.Helper()
+	paths := make([]string, n)
+	for k := 0; k < n; k++ {
+		paths[k] = filepath.Join(dir, fmt.Sprintf("shard-%d-of-%d.json", k+1, n))
+		job := mkJob(Plan{Index: k, Count: n})
+		if _, _, err := Run(context.Background(), job, RunOptions{Path: paths[k], CheckpointEvery: 7}); err != nil {
+			t.Fatalf("shard %d/%d: %v", k+1, n, err)
+		}
+	}
+	return paths
+}
+
+func TestBoundShardingParity(t *testing.T) {
+	e := einsum.GEMM("gemm_64", 64, 64, 64)
+	opts := bound.Options{Workers: 2}
+	want := curveBytes(t, bound.Derive(e, opts).Curve)
+
+	for _, n := range []int{2, 4, 8} {
+		paths := runShards(t, t.TempDir(), n, func(plan Plan) Job {
+			job, err := BoundJob(e, opts, plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return job
+		})
+		merged, err := MergeFiles(paths...)
+		if err != nil {
+			t.Fatalf("N=%d: %v", n, err)
+		}
+		if got := curveBytes(t, merged); got != want {
+			t.Fatalf("N=%d: merged curve differs from single-process derive\n got %s\nwant %s", n, got, want)
+		}
+	}
+}
+
+func TestBoundShardingParityImperfect(t *testing.T) {
+	e := einsum.GEMM("gemm_48", 48, 40, 36)
+	opts := bound.Options{ImperfectExtra: 3}
+	want := curveBytes(t, bound.Derive(e, opts).Curve)
+
+	paths := runShards(t, t.TempDir(), 4, func(plan Plan) Job {
+		job, err := BoundJob(e, opts, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return job
+	})
+	merged, err := MergeFiles(paths...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := curveBytes(t, merged); got != want {
+		t.Fatalf("imperfect merged curve differs from single-process derive\n got %s\nwant %s", got, want)
+	}
+}
+
+func testChain(t *testing.T) *fusion.Chain {
+	t.Helper()
+	c, err := fusion.NewChain("ffn", 64,
+		fusion.GEMMOp("mm_0", 64, 32, 48),
+		fusion.GEMMOp("mm_1", 64, 48, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestFusionShardingParity(t *testing.T) {
+	c := testChain(t)
+	want, _, err := fusion.TiledFusionStats(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes := curveBytes(t, want)
+
+	for _, n := range []int{2, 4, 8} {
+		paths := runShards(t, t.TempDir(), n, func(plan Plan) Job {
+			job, err := FusionTiledJob(c, plan, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return job
+		})
+		merged, err := MergeFiles(paths...)
+		if err != nil {
+			t.Fatalf("N=%d: %v", n, err)
+		}
+		if got := curveBytes(t, merged); got != wantBytes {
+			t.Fatalf("N=%d: merged tiled-fusion curve differs from single-process sweep\n got %s\nwant %s", n, got, wantBytes)
+		}
+	}
+}
+
+// TestKillAndResumeParity kills one shard mid-run (context cancellation
+// after a fixed number of checkpoint flushes — the same code path as a
+// SIGKILL between flushes, since each flush is an atomic rename), resumes
+// it, and checks that the merged curve still matches the single-process
+// result byte for byte. Both derivation kinds are covered.
+func TestKillAndResumeParity(t *testing.T) {
+	e := einsum.GEMM("gemm_64", 64, 64, 64)
+	opts := bound.Options{}
+	chain := testChain(t)
+
+	kinds := []struct {
+		name  string
+		want  string
+		mkJob func(plan Plan) Job
+	}{
+		{
+			name: "bound",
+			want: curveBytes(t, bound.Derive(e, opts).Curve),
+			mkJob: func(plan Plan) Job {
+				job, err := BoundJob(e, opts, plan)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return job
+			},
+		},
+		{
+			name: "fusion-tiled",
+			want: func() string {
+				cv, _, err := fusion.TiledFusionStats(chain, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return curveBytes(t, cv)
+			}(),
+			mkJob: func(plan Plan) Job {
+				job, err := FusionTiledJob(chain, plan, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return job
+			},
+		},
+	}
+
+	for _, kind := range kinds {
+		for _, killAfter := range []int{1, 3} {
+			t.Run(fmt.Sprintf("%s/killAfter=%d", kind.name, killAfter), func(t *testing.T) {
+				const n = 4
+				dir := t.TempDir()
+				paths := make([]string, n)
+				for k := 0; k < n; k++ {
+					paths[k] = filepath.Join(dir, fmt.Sprintf("shard-%d.json", k+1))
+					job := kind.mkJob(Plan{Index: k, Count: n})
+					if k != 1 {
+						if _, _, err := Run(context.Background(), job, RunOptions{Path: paths[k], CheckpointEvery: 5}); err != nil {
+							t.Fatal(err)
+						}
+						continue
+					}
+
+					// Kill shard 2 after killAfter flushes...
+					ctx, cancel := context.WithCancel(context.Background())
+					flushes := 0
+					_, _, err := Run(ctx, job, RunOptions{
+						Path:            paths[k],
+						CheckpointEvery: 5,
+						OnCheckpoint: func(Manifest) {
+							flushes++
+							if flushes >= killAfter {
+								cancel()
+							}
+						},
+					})
+					cancel()
+					if err == nil {
+						t.Fatal("killed run reported success")
+					}
+					killed, rerr := ReadPartial(paths[k])
+					if rerr != nil {
+						t.Fatalf("no resumable checkpoint after kill: %v", rerr)
+					}
+					if killed.Manifest.Complete() {
+						t.Fatal("kill point was after shard completion; lower CheckpointEvery")
+					}
+
+					// ...then restart it on the same file.
+					_, stats, err := Run(context.Background(), job, RunOptions{Path: paths[k], CheckpointEvery: 5})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !stats.Resumed || stats.ResumedFrom != killed.Manifest.CompletedThrough {
+						t.Fatalf("restart did not resume at checkpoint: stats %+v, checkpoint at %d",
+							stats, killed.Manifest.CompletedThrough)
+					}
+				}
+				merged, err := MergeFiles(paths...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := curveBytes(t, merged); got != kind.want {
+					t.Fatalf("kill+resume merged curve differs from single-process result\n got %s\nwant %s", got, kind.want)
+				}
+			})
+		}
+	}
+}
+
+// TestMergeRefusesMismatchedDerivations shards the same workload under
+// different options and checks the merge refuses to combine them.
+func TestMergeRefusesMismatchedDerivations(t *testing.T) {
+	e := einsum.GEMM("gemm_64", 64, 64, 64)
+	dir := t.TempDir()
+	mk := func(name string, opts bound.Options, plan Plan) string {
+		job, err := BoundJob(e, opts, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if _, _, err := Run(context.Background(), job, RunOptions{Path: path}); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	perfect := mk("perfect.json", bound.Options{}, Plan{Index: 0, Count: 2})
+	imperfect := mk("imperfect.json", bound.Options{ImperfectExtra: 2}, Plan{Index: 1, Count: 2})
+	if _, err := MergeFiles(perfect, imperfect); err == nil {
+		t.Fatal("merge combined partials of different derivation options")
+	}
+
+	spills := mk("spills.json", bound.Options{ChargeSpills: true}, Plan{Index: 1, Count: 2})
+	if _, err := MergeFiles(perfect, spills); err == nil {
+		t.Fatal("merge combined spill-charged with default accounting")
+	}
+}
+
+// TestRunRefusesForeignCheckpoint pins the resume guard: a run must not
+// continue from (or overwrite) a checkpoint of a different derivation or
+// a different shard of the same derivation.
+func TestRunRefusesForeignCheckpoint(t *testing.T) {
+	e := einsum.GEMM("gemm_64", 64, 64, 64)
+	path := filepath.Join(t.TempDir(), "shard.json")
+	job, err := BoundJob(e, bound.Options{}, Plan{Index: 0, Count: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Run(context.Background(), job, RunOptions{Path: path}); err != nil {
+		t.Fatal(err)
+	}
+
+	other, err := BoundJob(e, bound.Options{ImperfectExtra: 2}, Plan{Index: 0, Count: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Run(context.Background(), other, RunOptions{Path: path}); err == nil {
+		t.Fatal("run resumed from a checkpoint of different options")
+	}
+
+	sibling, err := BoundJob(e, bound.Options{}, Plan{Index: 1, Count: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Run(context.Background(), sibling, RunOptions{Path: path}); err == nil {
+		t.Fatal("run resumed from a sibling shard's checkpoint")
+	}
+}
+
+// TestMoreShardsThanItems exercises empty slices: shards beyond the item
+// count must still write complete, annotated, mergeable partials.
+func TestMoreShardsThanItems(t *testing.T) {
+	e := einsum.GEMM("gemm_2", 2, 2, 2) // 8 tilings
+	opts := bound.Options{}
+	if got := bound.Space(e, opts); got != 8 {
+		t.Fatalf("space = %d, want 8", got)
+	}
+	want := curveBytes(t, bound.Derive(e, opts).Curve)
+
+	paths := runShards(t, t.TempDir(), 16, func(plan Plan) Job {
+		job, err := BoundJob(e, opts, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return job
+	})
+	merged, err := MergeFiles(paths...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := curveBytes(t, merged); got != want {
+		t.Fatalf("merged curve differs with empty shards\n got %s\nwant %s", got, want)
+	}
+}

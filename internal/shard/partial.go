@@ -1,0 +1,197 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/pareto"
+)
+
+// FormatVersion is the partial-frontier file schema version. It changes
+// only when the JSON layout changes incompatibly; readers refuse files
+// with a different version.
+const FormatVersion = 1
+
+// Engine tags the derivation engine revision. Bump it whenever an
+// evaluator or enumeration-order change alters derived curves, so stale
+// partials from an older binary refuse to merge with fresh ones instead
+// of silently producing a curve no single engine version would derive.
+const Engine = "orojenesis/1"
+
+// Kind names the derivation path a partial frontier came from. Partial
+// frontiers of different kinds never merge, even over the same workload:
+// a bound curve and a tiled-fusion curve answer different questions.
+type Kind string
+
+// The derivation paths with sharded index spaces.
+const (
+	KindBound       Kind = "bound"        // bound.DeriveRange over a single Einsum's mapspace
+	KindFusionTiled Kind = "fusion-tiled" // fusion.TiledFusionRange over a chain's FFMT template space
+)
+
+// Manifest is the partial-frontier file header: everything a merge needs
+// to decide whether two partials describe shares of the same derivation,
+// and everything a resume needs to continue a killed shard.
+type Manifest struct {
+	// FormatVersion and Engine pin the file schema and the derivation
+	// engine revision (see the package constants).
+	FormatVersion int    `json:"format_version"`
+	Engine        string `json:"engine"`
+
+	// Kind is the derivation path (bound, fusion-tiled).
+	Kind Kind `json:"kind"`
+
+	// Workload is a human-readable workload label. It is informational
+	// only; compatibility is decided by WorkloadDigest.
+	Workload string `json:"workload"`
+
+	// WorkloadDigest and OptionsDigest are Digest values over the
+	// canonical workload and result-affecting-options encodings. Partials
+	// merge only when both agree.
+	WorkloadDigest string `json:"workload_digest"`
+	OptionsDigest  string `json:"options_digest"`
+
+	// ShardIndex (0-based) of ShardCount identifies this shard's place in
+	// the plan; Items is the size of the full flat index space, so every
+	// reader can recompute the expected Plan.Slice.
+	ShardIndex int   `json:"shard_index"`
+	ShardCount int   `json:"shard_count"`
+	Items      int64 `json:"items"`
+
+	// RangeLo and RangeHi are the shard's evaluated-index range [lo, hi),
+	// as assigned by Plan.Slice(Items).
+	RangeLo int64 `json:"range_lo"`
+	RangeHi int64 `json:"range_hi"`
+
+	// CompletedThrough is the resumable high-water mark: every global
+	// index in [RangeLo, CompletedThrough) is reflected in the stored
+	// curve. A shard is complete when CompletedThrough == RangeHi.
+	CompletedThrough int64 `json:"completed_through"`
+}
+
+// Complete reports whether the shard finished its whole slice.
+func (m *Manifest) Complete() bool { return m.CompletedThrough >= m.RangeHi }
+
+// Validate reports structurally broken manifests (before any
+// compatibility question arises): unknown versions, inverted ranges, or a
+// range that disagrees with the shard plan.
+func (m *Manifest) Validate() error {
+	if m.FormatVersion != FormatVersion {
+		return fmt.Errorf("shard: manifest format version %d, this reader supports %d", m.FormatVersion, FormatVersion)
+	}
+	if m.Engine == "" {
+		return fmt.Errorf("shard: manifest missing engine version")
+	}
+	if m.Kind != KindBound && m.Kind != KindFusionTiled {
+		return fmt.Errorf("shard: manifest has unknown kind %q", m.Kind)
+	}
+	if m.WorkloadDigest == "" || m.OptionsDigest == "" {
+		return fmt.Errorf("shard: manifest missing workload/options digest")
+	}
+	p := Plan{Index: m.ShardIndex, Count: m.ShardCount}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if m.Items < 0 {
+		return fmt.Errorf("shard: manifest has negative index space %d", m.Items)
+	}
+	if lo, hi := p.Slice(m.Items); lo != m.RangeLo || hi != m.RangeHi {
+		return fmt.Errorf("shard: manifest range [%d, %d) does not match plan %s of %d items (want [%d, %d))",
+			m.RangeLo, m.RangeHi, p, m.Items, lo, hi)
+	}
+	if m.CompletedThrough < m.RangeLo || m.CompletedThrough > m.RangeHi {
+		return fmt.Errorf("shard: manifest completed-through %d outside range [%d, %d]",
+			m.CompletedThrough, m.RangeLo, m.RangeHi)
+	}
+	return nil
+}
+
+// CompatibleWith reports with a descriptive error why two manifests do not
+// describe shares of one derivation: any difference in schema, engine,
+// kind, digests, index-space size or shard count. Shard index and
+// completion state are deliberately not compared — distinct shards of one
+// plan are exactly what merges want.
+func (m *Manifest) CompatibleWith(o *Manifest) error {
+	switch {
+	case m.FormatVersion != o.FormatVersion:
+		return fmt.Errorf("format version %d vs %d", m.FormatVersion, o.FormatVersion)
+	case m.Engine != o.Engine:
+		return fmt.Errorf("engine %q vs %q", m.Engine, o.Engine)
+	case m.Kind != o.Kind:
+		return fmt.Errorf("kind %q vs %q", m.Kind, o.Kind)
+	case m.WorkloadDigest != o.WorkloadDigest:
+		return fmt.Errorf("workload digest %.12s… vs %.12s… (different workloads)", m.WorkloadDigest, o.WorkloadDigest)
+	case m.OptionsDigest != o.OptionsDigest:
+		return fmt.Errorf("options digest %.12s… vs %.12s… (different derivation options)", m.OptionsDigest, o.OptionsDigest)
+	case m.Items != o.Items:
+		return fmt.Errorf("index space %d vs %d items", m.Items, o.Items)
+	case m.ShardCount != o.ShardCount:
+		return fmt.Errorf("shard count %d vs %d", m.ShardCount, o.ShardCount)
+	}
+	return nil
+}
+
+// Partial is one shard's partial frontier: the manifest plus the Pareto
+// curve over every evaluated index in [RangeLo, CompletedThrough). The
+// curve carries the workload annotations (AlgoMinBytes,
+// TotalOperandBytes), which depend only on the workload and are therefore
+// already final on every partial.
+type Partial struct {
+	Manifest Manifest      `json:"manifest"`
+	Curve    *pareto.Curve `json:"curve"`
+}
+
+// WritePartial atomically replaces path with the serialized partial: the
+// JSON is written to a temporary file in the same directory and renamed
+// over path, so a kill mid-flush leaves the previous checkpoint intact
+// rather than a truncated file.
+func WritePartial(path string, p *Partial) error {
+	if err := p.Manifest.Validate(); err != nil {
+		return err
+	}
+	data, err := json.Marshal(p)
+	if err != nil {
+		return fmt.Errorf("shard: encoding partial: %w", err)
+	}
+	data = append(data, '\n')
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("shard: writing partial: %w", err)
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr == nil {
+			werr = cerr
+		}
+		return fmt.Errorf("shard: writing partial %s: %w", path, werr)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("shard: writing partial %s: %w", path, err)
+	}
+	return nil
+}
+
+// ReadPartial loads and structurally validates a partial-frontier file.
+func ReadPartial(path string) (*Partial, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("shard: reading partial: %w", err)
+	}
+	var p Partial
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("shard: partial %s: %w", path, err)
+	}
+	if err := p.Manifest.Validate(); err != nil {
+		return nil, fmt.Errorf("shard: partial %s: %w", path, err)
+	}
+	if p.Curve == nil {
+		return nil, fmt.Errorf("shard: partial %s: missing curve", path)
+	}
+	return &p, nil
+}

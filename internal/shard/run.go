@@ -1,0 +1,189 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"time"
+
+	"repro/internal/pareto"
+)
+
+// defaultBlocksPerShard sets the automatic checkpoint granularity: a shard
+// flushes its partial frontier about this many times over its slice, so a
+// kill loses at most ~1/defaultBlocksPerShard of the shard's work.
+const defaultBlocksPerShard = 32
+
+// DeriveFunc derives the partial frontier over the global enumeration
+// indices [lo, hi) of a flat traversal space, returning the annotated
+// curve and the number of points evaluated. bound.DeriveRange,
+// fusion.TiledFusionRange and multilevel.DeriveRange adapt directly; the
+// hook must be deterministic per index, since a resumed shard may
+// re-derive the tail of a partially flushed block (idempotent under
+// Pareto insertion, but only for deterministic evaluation).
+type DeriveFunc func(lo, hi int64) (*pareto.Curve, int64, error)
+
+// Job describes one shard's share of a derivation: the identity fields
+// stamped into the manifest plus the range-derivation hook.
+type Job struct {
+	Kind     Kind
+	Workload string // human-readable label for the manifest
+
+	// WorkloadDigest and OptionsDigest identify the derivation (see
+	// Digest); all shards of one plan must be constructed with identical
+	// values or the merge will refuse them.
+	WorkloadDigest string
+	OptionsDigest  string
+
+	// Items is the full flat index-space size (bound.Space,
+	// fusion.TiledFusionSpace, ...); Plan selects this shard's slice.
+	Items int64
+	Plan  Plan
+
+	Derive DeriveFunc
+}
+
+// RunOptions tunes a shard run.
+type RunOptions struct {
+	// Path is the partial-frontier file: checkpoint target while running,
+	// resume source when it already exists, final artifact on completion.
+	Path string
+
+	// CheckpointEvery is the number of enumeration indices derived
+	// between flushes. <= 0 picks ~1/32 of the shard's slice.
+	CheckpointEvery int64
+
+	// OnCheckpoint, when non-nil, observes the manifest after every
+	// successful flush — progress reporting for the CLIs.
+	OnCheckpoint func(Manifest)
+}
+
+// RunStats reports what a shard run actually did.
+type RunStats struct {
+	Evaluated   int64         // points evaluated this run (excludes resumed work)
+	Blocks      int           // checkpoint blocks derived this run
+	Resumed     bool          // whether an existing partial was continued
+	ResumedFrom int64         // global index the run started at
+	Elapsed     time.Duration // wall-clock time of this run
+}
+
+// Run executes one shard: it derives the job's slice in checkpoint
+// blocks, flushing the accumulated partial frontier to opts.Path after
+// each block, and returns the final partial. If opts.Path already holds a
+// partial of the same derivation and shard, the run resumes at its
+// completed-through mark — the restart path for a killed shard; a partial
+// of a different derivation is an error, never silently overwritten.
+//
+// Cancelling ctx stops the run at the next block boundary with the last
+// flushed checkpoint intact on disk; Run returns the context error.
+func Run(ctx context.Context, job Job, opts RunOptions) (*Partial, RunStats, error) {
+	start := time.Now()
+	var stats RunStats
+	if err := job.Plan.Validate(); err != nil {
+		return nil, stats, err
+	}
+	if job.Derive == nil {
+		return nil, stats, fmt.Errorf("shard: job has no derive hook")
+	}
+	if opts.Path == "" {
+		return nil, stats, fmt.Errorf("shard: no partial-frontier path")
+	}
+	lo, hi := job.Plan.Slice(job.Items)
+	m := Manifest{
+		FormatVersion:    FormatVersion,
+		Engine:           Engine,
+		Kind:             job.Kind,
+		Workload:         job.Workload,
+		WorkloadDigest:   job.WorkloadDigest,
+		OptionsDigest:    job.OptionsDigest,
+		ShardIndex:       job.Plan.Index,
+		ShardCount:       job.Plan.Count,
+		Items:            job.Items,
+		RangeLo:          lo,
+		RangeHi:          hi,
+		CompletedThrough: lo,
+	}
+	if err := m.Validate(); err != nil {
+		return nil, stats, err
+	}
+
+	var acc *pareto.Curve
+	prev, err := ReadPartial(opts.Path)
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		// Fresh start: no checkpoint yet.
+	case err != nil:
+		// An unreadable checkpoint is evidence of a problem (corruption,
+		// wrong file); overwriting it would destroy that evidence.
+		return nil, stats, fmt.Errorf("shard: %s exists but is not a readable partial; refusing to overwrite: %w", opts.Path, err)
+	default:
+		if cerr := prev.Manifest.CompatibleWith(&m); cerr != nil {
+			return nil, stats, fmt.Errorf("shard: %s holds a different derivation (%v); refusing to resume or overwrite", opts.Path, cerr)
+		}
+		if prev.Manifest.ShardIndex != m.ShardIndex {
+			return nil, stats, fmt.Errorf("shard: %s holds shard %d/%d, this run is %s; refusing to resume or overwrite",
+				opts.Path, prev.Manifest.ShardIndex+1, prev.Manifest.ShardCount, job.Plan)
+		}
+		m.CompletedThrough = prev.Manifest.CompletedThrough
+		acc = prev.Curve
+		stats.Resumed = true
+	}
+	stats.ResumedFrom = m.CompletedThrough
+
+	every := opts.CheckpointEvery
+	if every <= 0 {
+		every = (hi - lo + defaultBlocksPerShard - 1) / defaultBlocksPerShard
+		if every < 1 {
+			every = 1
+		}
+	}
+
+	for m.CompletedThrough < hi {
+		if err := ctx.Err(); err != nil {
+			stats.Elapsed = time.Since(start)
+			return &Partial{Manifest: m, Curve: acc}, stats, err
+		}
+		bhi := m.CompletedThrough + every
+		if bhi > hi {
+			bhi = hi
+		}
+		blk, n, err := job.Derive(m.CompletedThrough, bhi)
+		if err != nil {
+			stats.Elapsed = time.Since(start)
+			return nil, stats, fmt.Errorf("shard: deriving [%d, %d): %w", m.CompletedThrough, bhi, err)
+		}
+		merged := pareto.Union(acc, blk)
+		merged.AlgoMinBytes = blk.AlgoMinBytes
+		merged.TotalOperandBytes = blk.TotalOperandBytes
+		acc = merged
+		m.CompletedThrough = bhi
+		stats.Evaluated += n
+		stats.Blocks++
+		if err := WritePartial(opts.Path, &Partial{Manifest: m, Curve: acc}); err != nil {
+			stats.Elapsed = time.Since(start)
+			return nil, stats, err
+		}
+		if opts.OnCheckpoint != nil {
+			opts.OnCheckpoint(m)
+		}
+	}
+
+	if acc == nil {
+		// Empty slice (more shards than items) or an already complete
+		// resume of an empty shard: derive the empty range so the curve
+		// still carries the workload annotations, then persist.
+		blk, _, err := job.Derive(lo, lo)
+		if err != nil {
+			stats.Elapsed = time.Since(start)
+			return nil, stats, fmt.Errorf("shard: deriving empty slice: %w", err)
+		}
+		acc = blk
+		if err := WritePartial(opts.Path, &Partial{Manifest: m, Curve: acc}); err != nil {
+			stats.Elapsed = time.Since(start)
+			return nil, stats, err
+		}
+	}
+	stats.Elapsed = time.Since(start)
+	return &Partial{Manifest: m, Curve: acc}, stats, nil
+}

@@ -19,6 +19,12 @@
 // never resurrects a dominated point and never drops a non-dominated one),
 // the merged curve is byte-identical to a serial traversal's for any
 // worker count.
+//
+// Paper mapping: this engine is the mechanical substrate of the Sec.
+// III-B exhaustive traversal, whose low single-run cost (Table I) is the
+// paper's case for bound derivation over mapping-aware DSE. FrontierRange
+// restricts a traversal to an index sub-range, which is what
+// internal/shard builds cross-process sharding on.
 package traverse
 
 import (
@@ -39,9 +45,9 @@ const chunksPerWorker = 16
 // Stats reports what a traversal actually did, feeding the Table I runtime
 // comparison and the cmd tools' -stats output.
 type Stats struct {
-	Workers   int           // workers actually launched
-	Items     int64         // enumeration indices processed
-	Evaluated int64         // points evaluated, as reported by chunk funcs
+	Workers   int   // workers actually launched
+	Items     int64 // enumeration indices processed
+	Evaluated int64 // points evaluated, as reported by chunk funcs
 	Elapsed   time.Duration
 }
 
@@ -161,13 +167,26 @@ type ChunkFunc func(lo, hi int64, b *pareto.Builder) int64
 // (an evaluator, a reusable mapping) lives in the closure without
 // synchronization. The result is byte-identical for every worker count.
 func Frontier(items int64, workers int, newWorker func() ChunkFunc) (*pareto.Curve, Stats) {
+	return FrontierRange(0, items, workers, newWorker)
+}
+
+// FrontierRange is Frontier restricted to the global index window
+// [lo, hi): chunk functions receive global indices from that window only,
+// so a caller holding one slice of a larger enumeration — a shard of a
+// cross-process traversal (internal/shard), or one checkpoint block of a
+// resumable run — evaluates exactly its share and nothing else. Because
+// the Pareto frontier of a union equals the frontier of the per-part
+// frontiers' union, curves derived over a disjoint cover of [0, items)
+// merge (pareto.Union) to the byte-identical full-range curve.
+func FrontierRange(lo, hi int64, workers int, newWorker func() ChunkFunc) (*pareto.Curve, Stats) {
+	items := hi - lo
 	w := WorkerCount(items, workers)
 	builders := make([]*pareto.Builder, w)
 	stats := Partition(items, w, func(wi int) RangeFunc {
 		fn := newWorker()
 		b := pareto.NewBuilder()
 		builders[wi] = b
-		return func(lo, hi int64) int64 { return fn(lo, hi, b) }
+		return func(clo, chi int64) int64 { return fn(lo+clo, lo+chi, b) }
 	})
 	curves := make([]*pareto.Curve, 0, len(builders))
 	for _, b := range builders {

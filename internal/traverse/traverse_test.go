@@ -2,6 +2,7 @@ package traverse
 
 import (
 	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -291,5 +292,41 @@ func TestMemoDistinctKeys(t *testing.T) {
 	}
 	if m.Len() != 10 {
 		t.Fatalf("Len = %d", m.Len())
+	}
+}
+
+func TestFrontierRangeWindow(t *testing.T) {
+	// f(i) contributes point (i+1, 1000-i): every index lands on the
+	// frontier, so the window's points are exactly its indices.
+	mk := func() ChunkFunc {
+		return func(lo, hi int64, b *pareto.Builder) int64 {
+			for i := lo; i < hi; i++ {
+				b.Add(i+1, 1000-i)
+			}
+			return hi - lo
+		}
+	}
+	curve, stats := FrontierRange(30, 60, 3, mk)
+	if curve.Len() != 30 {
+		t.Fatalf("window curve has %d points, want 30", curve.Len())
+	}
+	pts := curve.Points()
+	if pts[0].BufferBytes != 31 || pts[len(pts)-1].BufferBytes != 60 {
+		t.Fatalf("window covered buffers %d..%d, want 31..60", pts[0].BufferBytes, pts[len(pts)-1].BufferBytes)
+	}
+	if stats.Items != 30 || stats.Evaluated != 30 {
+		t.Fatalf("stats %+v, want 30 items/evaluated", stats)
+	}
+
+	// A disjoint cover of [0, 100) unions to the full-range frontier.
+	full, _ := Frontier(100, 2, mk)
+	var parts []*pareto.Curve
+	for _, cut := range [][2]int64{{0, 7}, {7, 60}, {60, 60}, {60, 100}} {
+		c, _ := FrontierRange(cut[0], cut[1], 2, mk)
+		parts = append(parts, c)
+	}
+	union := pareto.Union(parts...)
+	if got, want := fmt.Sprint(union.Points()), fmt.Sprint(full.Points()); got != want {
+		t.Fatalf("union of range frontiers differs from full frontier\n got %s\nwant %s", got, want)
 	}
 }
