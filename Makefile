@@ -1,11 +1,19 @@
 # Tier-1 verification plus the race-detector pass over the packages with
-# concurrent traversal code and the documentation gate.
+# concurrent traversal code, the fault-injection robustness suite, and the
+# documentation gate.
 
 RACE_PKGS := ./internal/bound ./internal/pareto ./internal/fusion \
              ./internal/traverse ./internal/mapping \
-             ./internal/multilevel ./internal/simba
+             ./internal/multilevel ./internal/simba \
+             ./internal/shard ./internal/supervise
 
-.PHONY: all vet build test race docs ci
+# The fault-injection and supervision suites: every scripted I/O failure,
+# kill and cancellation must end in a successful retry or a named,
+# resumable error — never a corrupt artifact. Backoffs in these tests are
+# already shortened to milliseconds.
+ROBUST_PKGS := ./internal/shard ./internal/supervise ./internal/traverse
+
+.PHONY: all vet build test race robust docs ci
 
 all: ci
 
@@ -30,4 +38,7 @@ test:
 race:
 	go test -race $(RACE_PKGS)
 
-ci: vet build test race docs
+robust:
+	go test -race -count=1 $(ROBUST_PKGS)
+
+ci: vet build test race robust docs

@@ -18,18 +18,28 @@
 //	orojenesis -gemm 4096,4096,4096 -shard 1/4 -out part1.json
 //	...                             -shard 4/4 -out part4.json
 //	shardmerge -out curve.json part1.json part2.json part3.json part4.json
+//
+// Or supervised in one process — all N shards with retry/backoff,
+// quarantine of corrupt checkpoints, and resumable SIGINT/SIGTERM (see
+// docs/shard-format.md, "Failure model"):
+//
+//	orojenesis -gemm 4096,4096,4096 -supervise 4 -shard-dir parts/ -out curve.json
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 
 	orojenesis "repro"
 	"repro/internal/cliutil"
 	"repro/internal/shard"
+	"repro/internal/supervise"
 )
 
 func main() {
@@ -51,8 +61,12 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel evaluation goroutines (0 = GOMAXPROCS)")
 	stats := flag.Bool("stats", false, "print traversal statistics (workers used, mappings/sec)")
 	shardSpec := flag.String("shard", "", "derive only shard k/N of the mapspace into -out (e.g. 1/4); resumes an interrupted run from the same file")
-	out := flag.String("out", "", "partial-frontier file for -shard (checkpoint target and final artifact)")
-	checkpoint := flag.Int64("checkpoint", 0, "tiling indices per checkpoint flush in -shard mode (0 = ~1/32 of the slice)")
+	out := flag.String("out", "", "partial-frontier file for -shard (checkpoint target and final artifact), or merged-curve JSON file for -supervise")
+	checkpoint := flag.Int64("checkpoint", 0, "tiling indices per checkpoint flush in -shard/-supervise mode (0 = ~1/32 of each slice)")
+	superviseN := flag.Int("supervise", 0, "derive all N shards under one supervisor (retry, quarantine, resumable interrupt) and merge the result")
+	shardDir := flag.String("shard-dir", "", "directory for per-shard checkpoint files in -supervise mode (required; reused on resume)")
+	retries := flag.Int("retries", 0, "per-shard retry budget in -supervise mode (0 = default, negative = none)")
+	allowPartial := flag.Bool("allow-partial", false, "in -supervise mode, emit an annotated degraded curve when shards fail permanently instead of refusing")
 	flag.Parse()
 
 	opts := orojenesis.Options{ImperfectExtra: *imperfect, Workers: *workers}
@@ -70,6 +84,10 @@ func main() {
 		log.Fatal(err)
 	}
 
+	if *superviseN > 0 {
+		runSupervised(e, opts, *superviseN, *shardDir, *out, *checkpoint, *retries, *allowPartial, *stats)
+		return
+	}
 	if *shardSpec != "" {
 		runShard(e, opts, *shardSpec, *out, *checkpoint, *stats)
 		return
@@ -126,7 +144,8 @@ func main() {
 }
 
 // runShard derives one slice of e's mapspace into a resumable
-// partial-frontier file (the -shard k/N -out FILE mode).
+// partial-frontier file (the -shard k/N -out FILE mode). SIGINT/SIGTERM
+// flush a final checkpoint and exit; rerunning the same command resumes.
 func runShard(e *orojenesis.Einsum, opts orojenesis.Options, spec, out string, checkpoint int64, stats bool) {
 	if out == "" {
 		log.Fatal("-shard requires -out FILE for the partial frontier")
@@ -146,8 +165,15 @@ func runShard(e *orojenesis.Einsum, opts orojenesis.Options, spec, out string, c
 				m.CompletedThrough-m.RangeLo, m.RangeHi-m.RangeLo, plan)
 		}
 	}
-	p, rs, err := shard.Run(context.Background(), job, ropts)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	p, rs, err := shard.Run(ctx, job, ropts)
 	if err != nil {
+		if ctx.Err() != nil && p != nil {
+			log.Printf("interrupted at index %d of shard %s; checkpoint flushed to %s — rerun the same command to resume",
+				p.Manifest.CompletedThrough, plan, out)
+			os.Exit(130)
+		}
 		log.Fatal(err)
 	}
 	lo, hi := plan.Slice(job.Items)
@@ -158,6 +184,83 @@ func runShard(e *orojenesis.Einsum, opts orojenesis.Options, spec, out string, c
 	fmt.Printf("shard %s: indices [%d, %d) of %d, %d mappings evaluated in %v\n",
 		plan, lo, hi, job.Items, rs.Evaluated, rs.Elapsed)
 	fmt.Printf("partial frontier: %d points -> %s\n", p.Curve.Len(), out)
+}
+
+// runSupervised derives all N shards of e's mapspace under one supervisor
+// (the -supervise N -shard-dir DIR mode): retried with backoff on
+// transient failures, corrupt checkpoints quarantined and re-derived, and
+// SIGINT/SIGTERM flushing final checkpoints so rerunning the same command
+// resumes every shard. The merged curve — exact, or degraded under
+// -allow-partial — is summarized and optionally written to -out.
+func runSupervised(e *orojenesis.Einsum, opts orojenesis.Options, n int, dir, out string, checkpoint int64, retries int, allowPartial, stats bool) {
+	if dir == "" {
+		log.Fatal("-supervise requires -shard-dir DIR for the per-shard checkpoint files")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	sopts := supervise.Options{
+		Dir:             dir,
+		CheckpointEvery: checkpoint,
+		MaxRetries:      retries,
+		AllowPartial:    allowPartial,
+		Logf:            log.Printf,
+	}
+	if stats {
+		sopts.OnCheckpoint = func(m shard.Manifest) {
+			fmt.Printf("checkpoint: shard %d/%d at %d / %d indices\n",
+				m.ShardIndex+1, m.ShardCount, m.CompletedThrough-m.RangeLo, m.RangeHi-m.RangeLo)
+		}
+	}
+	report, err := supervise.Run(ctx, n, func(p shard.Plan) (shard.Job, error) {
+		return shard.BoundJob(e, opts, p)
+	}, sopts)
+	if report != nil && report.Interrupted {
+		log.Printf("interrupted; shard checkpoints flushed under %s — rerun the same command to resume", dir)
+		os.Exit(130)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload: %s\n", e)
+	var attempts int
+	for _, st := range report.Shards {
+		attempts += st.Attempts
+		for _, q := range st.Quarantined {
+			fmt.Printf("shard %s: quarantined corrupt checkpoint -> %s\n", st.Plan, q)
+		}
+	}
+	fmt.Printf("supervised %d shards in %d attempts\n", n, attempts)
+
+	curve := report.Curve
+	if report.Degraded != nil {
+		d := report.Degraded
+		curve = d.Curve
+		fmt.Printf("DEGRADED curve: covers %d of %d indices (%.2f%%); missing shards %v, incomplete %v\n",
+			d.CoveredIndices, d.Items, 100*d.CoveredFraction, d.MissingShards, d.IncompleteShards)
+	}
+	series := orojenesis.Series{Name: e.Name, Curve: curve}
+	fmt.Print(orojenesis.SummaryTable([]int64{1 << 16, 1 << 20, 1 << 24, 40 << 20}, series))
+
+	if out != "" {
+		// A degraded result is serialized only inside its annotated
+		// envelope, never as a bare curve.
+		var payload any = curve
+		if report.Degraded != nil {
+			payload = report.Degraded
+		}
+		data, err := json.Marshal(payload)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("merged curve: %d points -> %s\n", curve.Len(), out)
+	}
 }
 
 func buildWorkload(gemm, bmm, gbmm, conv, einsumExpr string) (*orojenesis.Einsum, error) {

@@ -7,10 +7,18 @@
 // duplicated or incomplete shards. See docs/shard-format.md for the file
 // format.
 //
+// With -allow-partial, an incomplete shard set (missing or interrupted
+// shards) merges into an explicitly annotated degraded curve instead of
+// being refused: the JSON output is the degraded envelope carrying the
+// covered index fraction, and the CSV output leads with "# degraded"
+// comment lines. A degraded curve is a valid but potentially loose lower
+// bound — see docs/shard-format.md, "Failure model".
+//
 // Examples:
 //
 //	shardmerge -out curve.json part1.json part2.json part3.json part4.json
 //	shardmerge -csv part*.json > curve.csv
+//	shardmerge -allow-partial -out degraded.json part1.json part3.json
 package main
 
 import (
@@ -32,6 +40,7 @@ func main() {
 	out := flag.String("out", "", "write the merged curve as JSON to this file (default: stdout)")
 	csv := flag.Bool("csv", false, "emit two-column CSV instead of JSON")
 	summary := flag.Bool("summary", true, "print a merge summary to stderr")
+	allowPartial := flag.Bool("allow-partial", false, "merge an incomplete shard set into an explicitly annotated degraded curve instead of refusing")
 	flag.Parse()
 
 	paths := flag.Args()
@@ -47,6 +56,25 @@ func main() {
 		}
 		partials[i] = p
 	}
+
+	if *allowPartial {
+		d, err := shard.MergeDegraded(partials...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *summary {
+			m := &partials[0].Manifest
+			fmt.Fprintf(os.Stderr, "degraded merge of %d/%d shards of %q (%s): covers %d of %d indices (%.2f%%), %d points, missing %v, incomplete %v\n",
+				len(partials), d.ShardCount, m.Workload, m.Kind,
+				d.CoveredIndices, d.Items, 100*d.CoveredFraction, d.Curve.Len(),
+				d.MissingShards, d.IncompleteShards)
+		}
+		if err := writeDegraded(d, *out, *csv); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
 	merged, err := shard.Merge(partials...)
 	if err != nil {
 		log.Fatal(err)
@@ -82,6 +110,37 @@ func writeCurve(c *pareto.Curve, path string, csv bool) error {
 		return err
 	}
 	data, err := json.Marshal(c)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// writeDegraded emits a degraded merge, to path or stdout. The JSON form
+// is the annotated envelope; the CSV form leads with "# degraded" comment
+// lines so the coverage annotation can never be separated from the data.
+func writeDegraded(d *shard.Degraded, path string, csv bool) error {
+	w := os.Stdout
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if csv {
+		if _, err := fmt.Fprintf(w, "# degraded: %t\n# covered_indices: %d of %d (fraction %.6f)\n# missing_shards: %v\n# incomplete_shards: %v\n",
+			!d.Complete(), d.CoveredIndices, d.Items, d.CoveredFraction,
+			d.MissingShards, d.IncompleteShards); err != nil {
+			return err
+		}
+		_, err := d.Curve.WriteTo(w)
+		return err
+	}
+	data, err := json.Marshal(d)
 	if err != nil {
 		return err
 	}

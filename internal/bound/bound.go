@@ -5,6 +5,7 @@
 package bound
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -116,7 +117,13 @@ func Space(e *einsum.Einsum, opts Options) int64 {
 // invalid Options; callers with an error path should check
 // Options.Validate first.
 func Derive(e *einsum.Einsum, opts Options) Result {
-	return DeriveRange(e, opts, 0, Space(e, opts))
+	r, err := DeriveRange(context.Background(), e, opts, 0, Space(e, opts))
+	if err != nil {
+		// Unreachable: DeriveRange fails only on context cancellation,
+		// and the background context never cancels.
+		panic(err.Error())
+	}
+	return r
 }
 
 // DeriveRange derives the partial ski-slope frontier over the global
@@ -126,7 +133,12 @@ func Derive(e *einsum.Einsum, opts Options) Result {
 // pareto.Union reproduces Derive's curve byte-for-byte; the annotations
 // are already set on every partial, since they depend only on the
 // workload. Panics on invalid Options or an out-of-bounds range.
-func DeriveRange(e *einsum.Einsum, opts Options, lo, hi int64) Result {
+//
+// Cancelling ctx aborts the traversal within about one worker chunk and
+// returns the context's error with no curve — the cancellation path a
+// supervised shard run (internal/supervise) relies on to stop inside a
+// checkpoint block rather than after it.
+func DeriveRange(ctx context.Context, e *einsum.Einsum, opts Options, lo, hi int64) (Result, error) {
 	if err := opts.Validate(); err != nil {
 		panic(err.Error())
 	}
@@ -138,7 +150,7 @@ func DeriveRange(e *einsum.Einsum, opts Options, lo, hi int64) Result {
 		panic(fmt.Sprintf("bound: DeriveRange [%d, %d) outside [0, %d)", lo, hi, en.Tilings()))
 	}
 
-	curve, ts := traverse.FrontierRange(lo, hi, opts.Workers, func() traverse.ChunkFunc {
+	curve, ts, err := traverse.FrontierRange(ctx, lo, hi, opts.Workers, func() traverse.ChunkFunc {
 		ev := snowcat.NewEvaluator(e)
 		eval := ev.EvaluateCompact
 		switch {
@@ -157,6 +169,9 @@ func DeriveRange(e *einsum.Einsum, opts Options, lo, hi int64) Result {
 			return count
 		}
 	})
+	if err != nil {
+		return Result{}, err
+	}
 
 	curve.AlgoMinBytes = e.AlgorithmicMinBytes()
 	curve.TotalOperandBytes = e.TotalOperandBytes()
@@ -167,7 +182,7 @@ func DeriveRange(e *einsum.Einsum, opts Options, lo, hi int64) Result {
 			Elapsed:           time.Since(start),
 			Workers:           ts.Workers,
 		},
-	}
+	}, nil
 }
 
 // LevelBound is one probe of the ski-slope curve for a level of a memory

@@ -1,6 +1,7 @@
 package bound
 
 import (
+	"context"
 	"encoding/json"
 	"testing"
 
@@ -28,7 +29,10 @@ func TestDeriveRangeCoverParity(t *testing.T) {
 		var parts []*pareto.Curve
 		var evaluated int64
 		for i := 0; i+1 < len(cuts); i++ {
-			r := DeriveRange(e, opts, cuts[i], cuts[i+1])
+			r, err := DeriveRange(context.Background(), e, opts, cuts[i], cuts[i+1])
+			if err != nil {
+				t.Fatal(err)
+			}
 			parts = append(parts, r.Curve)
 			evaluated += r.Stats.MappingsEvaluated
 		}
@@ -52,7 +56,10 @@ func TestDeriveRangeCoverParity(t *testing.T) {
 // than items" case and must carry workload annotations for the merge.
 func TestDeriveRangeEmptyStillAnnotated(t *testing.T) {
 	e := einsum.GEMM("g", 8, 8, 8)
-	r := DeriveRange(e, Options{}, 0, 0)
+	r, err := DeriveRange(context.Background(), e, Options{}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !r.Curve.Empty() {
 		t.Fatalf("empty range produced %d points", r.Curve.Len())
 	}
@@ -71,7 +78,7 @@ func TestDeriveRangePanicsOutOfBounds(t *testing.T) {
 					t.Errorf("DeriveRange[%d, %d) did not panic", r[0], r[1])
 				}
 			}()
-			DeriveRange(e, Options{}, r[0], r[1])
+			DeriveRange(context.Background(), e, Options{}, r[0], r[1])
 		}()
 	}
 }

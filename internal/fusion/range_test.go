@@ -1,6 +1,7 @@
 package fusion
 
 import (
+	"context"
 	"encoding/json"
 	"testing"
 
@@ -30,7 +31,7 @@ func TestTiledFusionRangeCoverParity(t *testing.T) {
 	cuts := []int64{0, 1, space / 3, space / 2, space}
 	var parts []*pareto.Curve
 	for i := 0; i+1 < len(cuts); i++ {
-		cv, _, err := TiledFusionRange(c, cuts[i], cuts[i+1], 2)
+		cv, _, err := TiledFusionRange(context.Background(), c, cuts[i], cuts[i+1], 2)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -57,7 +58,7 @@ func TestTiledFusionRangeRejectsOutOfBounds(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, r := range [][2]int64{{-1, 2}, {0, space + 1}, {5, 4}} {
-		if _, _, err := TiledFusionRange(c, r[0], r[1], 1); err == nil {
+		if _, _, err := TiledFusionRange(context.Background(), c, r[0], r[1], 1); err == nil {
 			t.Errorf("TiledFusionRange[%d, %d) accepted", r[0], r[1])
 		}
 	}

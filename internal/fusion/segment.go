@@ -1,6 +1,7 @@
 package fusion
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/pareto"
@@ -96,7 +97,9 @@ func SegmentationStudyStats(c *Chain, perOp []*pareto.Curve, workers int) ([]Seg
 	segs := AllSegmentations(len(c.Ops))
 	out := make([]SegmentedResult, len(segs))
 	errs := make([]error, len(segs))
-	ts := traverse.Each(int64(len(segs)), workers, func(i int64) {
+	// The segmentation study is not on the sharded/supervised path, so it
+	// runs under the non-cancellable background context.
+	ts, _ := traverse.Each(context.Background(), int64(len(segs)), workers, func(i int64) {
 		seg := segs[i]
 		var parts []*pareto.Curve
 		for _, sp := range seg.Segments(len(c.Ops)) {

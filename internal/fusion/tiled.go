@@ -1,6 +1,7 @@
 package fusion
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/pareto"
@@ -42,7 +43,7 @@ func TiledFusionStats(c *Chain, workers int) (*pareto.Curve, traverse.Stats, err
 	if err != nil {
 		return nil, traverse.Stats{}, err
 	}
-	return TiledFusionRange(c, 0, space, workers)
+	return TiledFusionRange(context.Background(), c, 0, space, workers)
 }
 
 // tiledSpace captures the flattened FFMT template enumeration of a chain:
@@ -98,7 +99,10 @@ func TiledFusionSpace(c *Chain) (int64, error) {
 // [0, TiledFusionSpace(c)) and merging the partial curves with
 // pareto.Union reproduces TiledFusionStats' curve byte-for-byte; the
 // annotations are already set on every partial.
-func TiledFusionRange(c *Chain, lo, hi int64, workers int) (*pareto.Curve, traverse.Stats, error) {
+//
+// Cancelling ctx aborts the sweep within about one worker chunk and
+// returns the context's error with no curve.
+func TiledFusionRange(ctx context.Context, c *Chain, lo, hi int64, workers int) (*pareto.Curve, traverse.Stats, error) {
 	sp, err := newTiledSpace(c)
 	if err != nil {
 		return nil, traverse.Stats{}, err
@@ -106,7 +110,7 @@ func TiledFusionRange(c *Chain, lo, hi int64, workers int) (*pareto.Curve, trave
 	if lo < 0 || hi < lo || hi > sp.items() {
 		return nil, traverse.Stats{}, fmt.Errorf("fusion: TiledFusionRange [%d, %d) outside [0, %d)", lo, hi, sp.items())
 	}
-	curve, ts := traverse.FrontierRange(lo, hi, workers, func() traverse.ChunkFunc {
+	curve, ts, err := traverse.FrontierRange(ctx, lo, hi, workers, func() traverse.ChunkFunc {
 		return func(lo, hi int64, b *pareto.Builder) int64 {
 			var count int64
 			for idx := lo; idx < hi; idx++ {
@@ -119,6 +123,9 @@ func TiledFusionRange(c *Chain, lo, hi int64, workers int) (*pareto.Curve, trave
 			return count
 		}
 	})
+	if err != nil {
+		return nil, ts, err
+	}
 	curve.AlgoMinBytes = c.FusedAlgoMinBytes()
 	curve.TotalOperandBytes = c.UnfusedAlgoMinBytes()
 	return curve, ts, nil

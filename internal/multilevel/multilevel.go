@@ -22,6 +22,7 @@
 package multilevel
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/einsum"
@@ -105,7 +106,7 @@ func Derive(e *einsum.Einsum, l1CapBytes int64, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return DeriveRange(e, l1CapBytes, 0, combos, opts)
+	return DeriveRange(context.Background(), e, l1CapBytes, 0, combos, opts)
 }
 
 // DeriveRange walks the global three-split combinations [lo, hi) of e's
@@ -113,7 +114,10 @@ func Derive(e *einsum.Einsum, l1CapBytes int64, opts Options) (*Result, error) {
 // disjoint cover of [0, Space(e)) recombine with Merge into the
 // byte-identical full-range Result: Pareto union and the joint min-rule
 // are both insensitive to how the underlying mappings were partitioned.
-func DeriveRange(e *einsum.Einsum, l1CapBytes int64, lo, hi int64, opts Options) (*Result, error) {
+//
+// Cancelling ctx aborts the traversal within about one worker chunk and
+// returns the context's error with no Result.
+func DeriveRange(ctx context.Context, e *einsum.Einsum, l1CapBytes int64, lo, hi int64, opts Options) (*Result, error) {
 	combosTotal, err := Space(e)
 	if err != nil {
 		return nil, err
@@ -143,7 +147,7 @@ func DeriveRange(e *einsum.Einsum, l1CapBytes int64, lo, hi int64, opts Options)
 
 	w := traverse.WorkerCount(combos, opts.Workers)
 	states := make([]*derState, w)
-	stats := traverse.Partition(combos, w, func(wi int) traverse.RangeFunc {
+	stats, terr := traverse.Partition(ctx, combos, w, func(wi int) traverse.RangeFunc {
 		st := &derState{
 			dramB: pareto.NewBuilder(),
 			l2B:   pareto.NewBuilder(),
@@ -229,6 +233,10 @@ func DeriveRange(e *einsum.Einsum, l1CapBytes int64, lo, hi int64, opts Options)
 			return count
 		}
 	})
+
+	if terr != nil {
+		return nil, terr
+	}
 
 	// Merge the per-worker frontiers and joint tables. Pareto union and
 	// the joint min-rule are both insensitive to merge order, so the

@@ -1,6 +1,7 @@
 package multilevel
 
 import (
+	"context"
 	"encoding/json"
 	"testing"
 
@@ -25,7 +26,7 @@ func TestDeriveRangeMergeParity(t *testing.T) {
 	cuts := []int64{0, space / 7, space / 2, space}
 	parts := make([]*Result, 0, len(cuts)-1)
 	for i := 0; i+1 < len(cuts); i++ {
-		p, err := DeriveRange(e, l1, cuts[i], cuts[i+1], Options{})
+		p, err := DeriveRange(context.Background(), e, l1, cuts[i], cuts[i+1], Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -67,11 +68,11 @@ func TestMergeRefusesMixedCapacities(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := DeriveRange(e, 1<<10, 0, space/2, Options{})
+	a, err := DeriveRange(context.Background(), e, 1<<10, 0, space/2, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := DeriveRange(e, 2<<10, space/2, space, Options{})
+	b, err := DeriveRange(context.Background(), e, 2<<10, space/2, space, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +88,7 @@ func TestDeriveRangeRejectsOutOfBounds(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, r := range [][2]int64{{-1, 2}, {0, space + 1}, {5, 4}} {
-		if _, err := DeriveRange(e, 1<<10, r[0], r[1], Options{}); err == nil {
+		if _, err := DeriveRange(context.Background(), e, 1<<10, r[0], r[1], Options{}); err == nil {
 			t.Errorf("DeriveRange[%d, %d) accepted", r[0], r[1])
 		}
 	}

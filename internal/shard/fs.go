@@ -1,0 +1,90 @@
+package shard
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// FS abstracts every filesystem operation the checkpoint path performs,
+// so the robustness suite can inject write, sync, rename and read
+// failures (see FaultFS) without touching the real disk contract. The
+// zero value of RunOptions uses the real OS filesystem; production code
+// never needs to implement this.
+type FS interface {
+	// ReadFile reads the whole named file (os.ReadFile).
+	ReadFile(name string) ([]byte, error)
+	// CreateTemp creates a new temporary file in dir (os.CreateTemp).
+	CreateTemp(dir, pattern string) (File, error)
+	// Rename atomically replaces newpath with oldpath (os.Rename).
+	Rename(oldpath, newpath string) error
+	// Remove deletes the named file (os.Remove).
+	Remove(name string) error
+	// SyncDir durably commits a directory's entries — the fsync that
+	// makes a rename survive a host crash, not just a process kill.
+	SyncDir(dir string) error
+	// Glob lists the names matching pattern (filepath.Glob), used by the
+	// stale-temp sweep on Run startup.
+	Glob(pattern string) ([]string, error)
+	// Stat describes the named file (os.Stat), used to pick a free
+	// quarantine name.
+	Stat(name string) (fs.FileInfo, error)
+}
+
+// File is the writable temp-file handle CreateTemp returns: enough
+// surface for the write → sync → close → rename checkpoint sequence.
+type File interface {
+	io.Writer
+	// Sync flushes the file's data to stable storage (os.File.Sync).
+	Sync() error
+	// Close closes the handle.
+	Close() error
+	// Name reports the file's path.
+	Name() string
+}
+
+// osFS is the real filesystem; the default when RunOptions.FS is nil.
+type osFS struct{}
+
+// OS returns the real-filesystem implementation of FS.
+func OS() FS { return osFS{} }
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+func (osFS) Glob(pattern string) ([]string, error) { return filepath.Glob(pattern) }
+
+func (osFS) Stat(name string) (fs.FileInfo, error) { return os.Stat(name) }
+
+// orOS resolves a possibly-nil FS option to the real filesystem.
+func orOS(fsys FS) FS {
+	if fsys == nil {
+		return osFS{}
+	}
+	return fsys
+}

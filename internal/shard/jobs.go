@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bound"
@@ -31,8 +32,11 @@ func BoundJob(e *einsum.Einsum, opts bound.Options, plan Plan) (Job, error) {
 		OptionsDigest:  Digest(opts.Canonical()),
 		Items:          bound.Space(e, opts),
 		Plan:           plan,
-		Derive: func(lo, hi int64) (*pareto.Curve, int64, error) {
-			r := bound.DeriveRange(e, opts, lo, hi)
+		Derive: func(ctx context.Context, lo, hi int64) (*pareto.Curve, int64, error) {
+			r, err := bound.DeriveRange(ctx, e, opts, lo, hi)
+			if err != nil {
+				return nil, 0, err
+			}
 			return r.Curve, r.Stats.MappingsEvaluated, nil
 		},
 	}, nil
@@ -57,8 +61,8 @@ func FusionTiledJob(c *fusion.Chain, plan Plan, workers int) (Job, error) {
 		OptionsDigest:  Digest("fusion-tiled{}"),
 		Items:          space,
 		Plan:           plan,
-		Derive: func(lo, hi int64) (*pareto.Curve, int64, error) {
-			curve, ts, err := fusion.TiledFusionRange(c, lo, hi, workers)
+		Derive: func(ctx context.Context, lo, hi int64) (*pareto.Curve, int64, error) {
+			curve, ts, err := fusion.TiledFusionRange(ctx, c, lo, hi, workers)
 			if err != nil {
 				return nil, 0, err
 			}

@@ -2,11 +2,31 @@ package shard
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 
 	"repro/internal/pareto"
+)
+
+// Named error classes the supervisor (internal/supervise) routes on.
+// Every failure Run or ReadPartial reports wraps exactly one of these (or
+// a context error), so callers can decide between quarantine-and-rederive,
+// retry, and give-up with errors.Is instead of string matching.
+var (
+	// ErrCorruptPartial marks a file that is not a readable partial
+	// frontier of a supported format: truncated or torn JSON, a zeroed
+	// tail, a failed structural validation, an unknown format version, or
+	// invalid curve annotations. The artifact is evidence of a problem;
+	// the safe automated response is quarantine (rename aside) followed
+	// by re-derivation, never silent overwrite.
+	ErrCorruptPartial = errors.New("corrupt partial frontier")
+
+	// ErrForeignPartial marks a structurally valid partial that belongs
+	// to a different derivation (workload/options digest, engine, kind,
+	// space size or shard count mismatch) or to a different shard of the
+	// same plan. Resuming from it would poison the curve.
+	ErrForeignPartial = errors.New("foreign partial frontier")
 )
 
 // FormatVersion is the partial-frontier file schema version. It changes
@@ -143,11 +163,20 @@ type Partial struct {
 	Curve    *pareto.Curve `json:"curve"`
 }
 
-// WritePartial atomically replaces path with the serialized partial: the
-// JSON is written to a temporary file in the same directory and renamed
-// over path, so a kill mid-flush leaves the previous checkpoint intact
-// rather than a truncated file.
+// WritePartial atomically and durably replaces path with the serialized
+// partial: the JSON is written to a temporary file in the same directory,
+// fsynced, renamed over path, and the directory is fsynced. The rename
+// makes a process kill mid-flush leave the previous checkpoint intact
+// rather than a truncated file; the two syncs make a committed checkpoint
+// survive a host crash — without the file sync the rename can land before
+// the data (a zero-length or torn "committed" file), and without the
+// directory sync the rename itself can be lost.
 func WritePartial(path string, p *Partial) error {
+	return writePartial(osFS{}, path, p)
+}
+
+// writePartial is WritePartial over an injectable filesystem.
+func writePartial(fsys FS, path string, p *Partial) error {
 	if err := p.Manifest.Validate(); err != nil {
 		return err
 	}
@@ -157,41 +186,79 @@ func WritePartial(path string, p *Partial) error {
 	}
 	data = append(data, '\n')
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	tmp, err := fsys.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return fmt.Errorf("shard: writing partial: %w", err)
 	}
 	_, werr := tmp.Write(data)
+	if werr == nil {
+		// Data must be durable before the rename commits it: sync the
+		// file first, then close.
+		werr = tmp.Sync()
+	}
 	cerr := tmp.Close()
 	if werr != nil || cerr != nil {
-		os.Remove(tmp.Name())
+		fsys.Remove(tmp.Name())
 		if werr == nil {
 			werr = cerr
 		}
 		return fmt.Errorf("shard: writing partial %s: %w", path, werr)
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
+	if err := fsys.Rename(tmp.Name(), path); err != nil {
+		fsys.Remove(tmp.Name())
 		return fmt.Errorf("shard: writing partial %s: %w", path, err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		return fmt.Errorf("shard: syncing directory of %s: %w", path, err)
 	}
 	return nil
 }
 
 // ReadPartial loads and structurally validates a partial-frontier file.
+// A file that exists but cannot be parsed or validated yields an error
+// wrapping ErrCorruptPartial; a missing file yields the underlying
+// fs.ErrNotExist.
 func ReadPartial(path string) (*Partial, error) {
-	data, err := os.ReadFile(path)
+	return readPartial(osFS{}, path)
+}
+
+// readPartial is ReadPartial over an injectable filesystem.
+func readPartial(fsys FS, path string) (*Partial, error) {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("shard: reading partial: %w", err)
 	}
 	var p Partial
 	if err := json.Unmarshal(data, &p); err != nil {
-		return nil, fmt.Errorf("shard: partial %s: %w", path, err)
+		return nil, fmt.Errorf("shard: partial %s: %w: %w", path, ErrCorruptPartial, err)
 	}
 	if err := p.Manifest.Validate(); err != nil {
-		return nil, fmt.Errorf("shard: partial %s: %w", path, err)
+		return nil, fmt.Errorf("shard: partial %s: %w: %w", path, ErrCorruptPartial, err)
 	}
 	if p.Curve == nil {
-		return nil, fmt.Errorf("shard: partial %s: missing curve", path)
+		return nil, fmt.Errorf("shard: partial %s: %w: missing curve", path, ErrCorruptPartial)
 	}
 	return &p, nil
+}
+
+// sweepStaleTemps removes leftover temp files of a previous kill for the
+// given checkpoint target: WritePartial names its temp files
+// "<base>.tmp<random>" in the target's directory, so a process killed
+// between CreateTemp and Rename leaks exactly those. Only the target's
+// own temps are touched — sibling shards checkpointing into the same
+// directory are unaffected. Sweep errors are reported but harmless:
+// leftover temps cost disk, never correctness.
+func sweepStaleTemps(fsys FS, path string) (removed []string, err error) {
+	matches, err := fsys.Glob(filepath.Join(filepath.Dir(path), filepath.Base(path)+".tmp*"))
+	if err != nil {
+		return nil, fmt.Errorf("shard: sweeping stale temps for %s: %w", path, err)
+	}
+	for _, m := range matches {
+		if rerr := fsys.Remove(m); rerr != nil {
+			err = fmt.Errorf("shard: sweeping stale temp %s: %w", m, rerr)
+			continue
+		}
+		removed = append(removed, m)
+	}
+	return removed, err
 }

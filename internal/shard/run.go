@@ -21,8 +21,10 @@ const defaultBlocksPerShard = 32
 // fusion.TiledFusionRange and multilevel.DeriveRange adapt directly; the
 // hook must be deterministic per index, since a resumed shard may
 // re-derive the tail of a partially flushed block (idempotent under
-// Pareto insertion, but only for deterministic evaluation).
-type DeriveFunc func(lo, hi int64) (*pareto.Curve, int64, error)
+// Pareto insertion, but only for deterministic evaluation). Cancelling
+// ctx must abort the derivation promptly and return the context's error —
+// the traversal engine's FrontierRange provides exactly this.
+type DeriveFunc func(ctx context.Context, lo, hi int64) (*pareto.Curve, int64, error)
 
 // Job describes one shard's share of a derivation: the identity fields
 // stamped into the manifest plus the range-derivation hook.
@@ -57,6 +59,10 @@ type RunOptions struct {
 	// OnCheckpoint, when non-nil, observes the manifest after every
 	// successful flush — progress reporting for the CLIs.
 	OnCheckpoint func(Manifest)
+
+	// FS overrides the filesystem the checkpoint path uses. Nil means
+	// the real OS filesystem; tests inject a FaultFS here.
+	FS FS
 }
 
 // RunStats reports what a shard run actually did.
@@ -65,6 +71,7 @@ type RunStats struct {
 	Blocks      int           // checkpoint blocks derived this run
 	Resumed     bool          // whether an existing partial was continued
 	ResumedFrom int64         // global index the run started at
+	SweptTemps  int           // stale temp files removed on startup
 	Elapsed     time.Duration // wall-clock time of this run
 }
 
@@ -74,12 +81,21 @@ type RunStats struct {
 // partial of the same derivation and shard, the run resumes at its
 // completed-through mark — the restart path for a killed shard; a partial
 // of a different derivation is an error, never silently overwritten.
+// Stale temp files a killed predecessor left next to opts.Path are swept
+// on startup.
 //
-// Cancelling ctx stops the run at the next block boundary with the last
-// flushed checkpoint intact on disk; Run returns the context error.
+// Cancelling ctx stops the run within about one traversal worker chunk —
+// inside a checkpoint block, not just between blocks — flushes a final
+// checkpoint at the last completed block boundary, and returns the
+// context error together with the resumable partial. Every error return
+// wraps either a context error, ErrCorruptPartial, ErrForeignPartial, or
+// describes an I/O failure whose on-disk state is still the last
+// successfully flushed checkpoint; none leaves a corrupt artifact at
+// opts.Path.
 func Run(ctx context.Context, job Job, opts RunOptions) (*Partial, RunStats, error) {
 	start := time.Now()
 	var stats RunStats
+	elapse := func() { stats.Elapsed = time.Since(start) }
 	if err := job.Plan.Validate(); err != nil {
 		return nil, stats, err
 	}
@@ -88,6 +104,10 @@ func Run(ctx context.Context, job Job, opts RunOptions) (*Partial, RunStats, err
 	}
 	if opts.Path == "" {
 		return nil, stats, fmt.Errorf("shard: no partial-frontier path")
+	}
+	fsys := orOS(opts.FS)
+	if swept, err := sweepStaleTemps(fsys, opts.Path); err == nil {
+		stats.SweptTemps = len(swept)
 	}
 	lo, hi := job.Plan.Slice(job.Items)
 	m := Manifest{
@@ -109,21 +129,26 @@ func Run(ctx context.Context, job Job, opts RunOptions) (*Partial, RunStats, err
 	}
 
 	var acc *pareto.Curve
-	prev, err := ReadPartial(opts.Path)
+	prev, err := readPartial(fsys, opts.Path)
 	switch {
 	case errors.Is(err, fs.ErrNotExist):
 		// Fresh start: no checkpoint yet.
 	case err != nil:
 		// An unreadable checkpoint is evidence of a problem (corruption,
-		// wrong file); overwriting it would destroy that evidence.
+		// wrong file); overwriting it would destroy that evidence. The
+		// supervisor quarantines it (rename to *.corrupt) and re-derives.
+		if !errors.Is(err, ErrCorruptPartial) {
+			err = fmt.Errorf("%w: %w", ErrCorruptPartial, err)
+		}
 		return nil, stats, fmt.Errorf("shard: %s exists but is not a readable partial; refusing to overwrite: %w", opts.Path, err)
 	default:
 		if cerr := prev.Manifest.CompatibleWith(&m); cerr != nil {
-			return nil, stats, fmt.Errorf("shard: %s holds a different derivation (%v); refusing to resume or overwrite", opts.Path, cerr)
+			return nil, stats, fmt.Errorf("shard: %s holds a different derivation (%v); refusing to resume or overwrite: %w",
+				opts.Path, cerr, ErrForeignPartial)
 		}
 		if prev.Manifest.ShardIndex != m.ShardIndex {
-			return nil, stats, fmt.Errorf("shard: %s holds shard %d/%d, this run is %s; refusing to resume or overwrite",
-				opts.Path, prev.Manifest.ShardIndex+1, prev.Manifest.ShardCount, job.Plan)
+			return nil, stats, fmt.Errorf("shard: %s holds shard %d/%d, this run is %s; refusing to resume or overwrite: %w",
+				opts.Path, prev.Manifest.ShardIndex+1, prev.Manifest.ShardCount, job.Plan, ErrForeignPartial)
 		}
 		m.CompletedThrough = prev.Manifest.CompletedThrough
 		acc = prev.Curve
@@ -139,18 +164,40 @@ func Run(ctx context.Context, job Job, opts RunOptions) (*Partial, RunStats, err
 		}
 	}
 
+	// flush persists the accumulated state at the current block boundary.
+	flush := func() error {
+		return writePartial(fsys, opts.Path, &Partial{Manifest: m, Curve: acc})
+	}
+
 	for m.CompletedThrough < hi {
 		if err := ctx.Err(); err != nil {
-			stats.Elapsed = time.Since(start)
+			// Interrupted between blocks (e.g. SIGINT/SIGTERM through
+			// signal.NotifyContext): flush a final checkpoint so the state
+			// on disk is current even if an earlier flush was skipped,
+			// then surrender with the resumable partial.
+			if acc != nil {
+				if ferr := flush(); ferr != nil {
+					elapse()
+					return nil, stats, ferr
+				}
+			}
+			elapse()
 			return &Partial{Manifest: m, Curve: acc}, stats, err
 		}
 		bhi := m.CompletedThrough + every
 		if bhi > hi {
 			bhi = hi
 		}
-		blk, n, err := job.Derive(m.CompletedThrough, bhi)
+		blk, n, err := job.Derive(ctx, m.CompletedThrough, bhi)
 		if err != nil {
-			stats.Elapsed = time.Since(start)
+			elapse()
+			if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+				// Cancelled inside the block: the last flushed checkpoint
+				// (at m.CompletedThrough) is intact and resumable; the
+				// partial block's work is discarded by design, since a
+				// curve over an unknown index subset cannot be committed.
+				return &Partial{Manifest: m, Curve: acc}, stats, err
+			}
 			return nil, stats, fmt.Errorf("shard: deriving [%d, %d): %w", m.CompletedThrough, bhi, err)
 		}
 		merged := pareto.Union(acc, blk)
@@ -160,8 +207,8 @@ func Run(ctx context.Context, job Job, opts RunOptions) (*Partial, RunStats, err
 		m.CompletedThrough = bhi
 		stats.Evaluated += n
 		stats.Blocks++
-		if err := WritePartial(opts.Path, &Partial{Manifest: m, Curve: acc}); err != nil {
-			stats.Elapsed = time.Since(start)
+		if err := flush(); err != nil {
+			elapse()
 			return nil, stats, err
 		}
 		if opts.OnCheckpoint != nil {
@@ -173,17 +220,17 @@ func Run(ctx context.Context, job Job, opts RunOptions) (*Partial, RunStats, err
 		// Empty slice (more shards than items) or an already complete
 		// resume of an empty shard: derive the empty range so the curve
 		// still carries the workload annotations, then persist.
-		blk, _, err := job.Derive(lo, lo)
+		blk, _, err := job.Derive(ctx, lo, lo)
 		if err != nil {
-			stats.Elapsed = time.Since(start)
+			elapse()
 			return nil, stats, fmt.Errorf("shard: deriving empty slice: %w", err)
 		}
 		acc = blk
-		if err := WritePartial(opts.Path, &Partial{Manifest: m, Curve: acc}); err != nil {
-			stats.Elapsed = time.Since(start)
+		if err := flush(); err != nil {
+			elapse()
 			return nil, stats, err
 		}
 	}
-	stats.Elapsed = time.Since(start)
+	elapse()
 	return &Partial{Manifest: m, Curve: acc}, stats, nil
 }

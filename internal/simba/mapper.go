@@ -1,6 +1,7 @@
 package simba
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -185,7 +186,7 @@ func SearchBest(g GEMM, a Arch, opts Options) DSEResult {
 	}
 	w := traverse.WorkerCount(items, opts.Workers)
 	bests := make([]best, w)
-	stats := traverse.Partition(items, w, func(wi int) traverse.RangeFunc {
+	stats, _ := traverse.Partition(context.Background(), items, w, func(wi int) traverse.RangeFunc {
 		bi := &bests[wi]
 		return func(lo, hi int64) int64 {
 			return s.visit(lo, hi, func(m *Mapping, combo int64, ord int) {
@@ -238,7 +239,7 @@ func Samples(g GEMM, a Arch, limit int, opts Options) []pareto.Point {
 	}
 	w := traverse.WorkerCount(items, opts.Workers)
 	buckets := make([][]posPoint, w)
-	traverse.Partition(items, w, func(wi int) traverse.RangeFunc {
+	traverse.Partition(context.Background(), items, w, func(wi int) traverse.RangeFunc {
 		return func(lo, hi int64) int64 {
 			return s.visit(lo, hi, func(m *Mapping, combo int64, ord int) {
 				r := Evaluate(g, a, m)

@@ -6,8 +6,8 @@
 //     a package doc comment, so each package states which paper section
 //     or figure it reproduces.
 //  2. Every exported top-level identifier in the core packages — pareto,
-//     traverse, bound, shard — has a doc comment. A group comment on a
-//     const/var block covers the whole block.
+//     traverse, bound, shard, supervise — has a doc comment. A group
+//     comment on a const/var block covers the whole block.
 //
 // Usage (from the module root, as `make docs` does):
 //
@@ -28,10 +28,11 @@ import (
 // strictDirs are the packages whose exported identifiers must all carry
 // doc comments, not just the package clause.
 var strictDirs = map[string]bool{
-	"internal/pareto":   true,
-	"internal/traverse": true,
-	"internal/bound":    true,
-	"internal/shard":    true,
+	"internal/pareto":    true,
+	"internal/traverse":  true,
+	"internal/bound":     true,
+	"internal/shard":     true,
+	"internal/supervise": true,
 }
 
 func main() {

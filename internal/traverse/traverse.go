@@ -25,9 +25,18 @@
 // paper's case for bound derivation over mapping-aware DSE. FrontierRange
 // restricts a traversal to an index sub-range, which is what
 // internal/shard builds cross-process sharding on.
+//
+// Every entry point takes a context.Context and observes cancellation at
+// chunk granularity: a worker checks the context before grabbing each
+// chunk, so cancelling returns within roughly one worker chunk (about
+// 1/(workers*chunksPerWorker) of the traversal) rather than only at the
+// end. A cancelled traversal returns the context's error and no curve —
+// the evaluated subset of indices is not otherwise recoverable, so a
+// partial frontier would silently under-approximate.
 package traverse
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -105,10 +114,15 @@ func WorkerCount(items int64, workers int) int {
 // merges the slots deterministically after Partition returns. A worker's
 // chunks arrive in ascending index order, so within one worker the visit
 // sequence is a subsequence of the serial enumeration.
-func Partition(items int64, workerCount int, newWorker func(w int) RangeFunc) Stats {
+//
+// Cancelling ctx stops every worker before its next chunk grab; Partition
+// then returns the context's error with Stats covering the work actually
+// done. Per-worker accumulators are in an undefined partial state after a
+// cancelled traversal and must be discarded.
+func Partition(ctx context.Context, items int64, workerCount int, newWorker func(w int) RangeFunc) (Stats, error) {
 	start := time.Now()
 	if items <= 0 {
-		return Stats{Elapsed: time.Since(start)}
+		return Stats{Elapsed: time.Since(start)}, ctx.Err()
 	}
 	w := workerCount
 	if w < 1 {
@@ -117,23 +131,37 @@ func Partition(items int64, workerCount int, newWorker func(w int) RangeFunc) St
 	if int64(w) > items {
 		w = int(items)
 	}
+	chunk := chunkSize(items, w)
 	if w == 1 {
-		// Serial fast path: no goroutine, exact enumeration order.
-		n := newWorker(0)(0, items)
-		return Stats{Workers: 1, Items: items, Evaluated: n, Elapsed: time.Since(start)}
+		// Serial fast path: no goroutine, exact enumeration order — but
+		// still chunked, so cancellation is observed between chunks
+		// instead of only after the whole range.
+		fn := newWorker(0)
+		var n int64
+		for lo := int64(0); lo < items; lo += chunk {
+			if err := ctx.Err(); err != nil {
+				return Stats{Workers: 1, Items: lo, Evaluated: n, Elapsed: time.Since(start)}, err
+			}
+			hi := lo + chunk
+			if hi > items {
+				hi = items
+			}
+			n += fn(lo, hi)
+		}
+		return Stats{Workers: 1, Items: items, Evaluated: n, Elapsed: time.Since(start)}, nil
 	}
 
-	chunk := chunkSize(items, w)
 	var next atomic.Int64
 	counts := make([]int64, w)
+	grabbed := make([]int64, w)
 	var wg sync.WaitGroup
 	for i := 0; i < w; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			fn := newWorker(i)
-			var n int64
-			for {
+			var n, items2 int64
+			for ctx.Err() == nil {
 				lo := next.Add(chunk) - chunk
 				if lo >= items {
 					break
@@ -143,17 +171,27 @@ func Partition(items int64, workerCount int, newWorker func(w int) RangeFunc) St
 					hi = items
 				}
 				n += fn(lo, hi)
+				items2 += hi - lo
 			}
 			counts[i] = n
+			grabbed[i] = items2
 		}(i)
 	}
 	wg.Wait()
 
-	var total int64
-	for _, n := range counts {
-		total += n
+	var total, visited int64
+	for i := range counts {
+		total += counts[i]
+		visited += grabbed[i]
 	}
-	return Stats{Workers: w, Items: items, Evaluated: total, Elapsed: time.Since(start)}
+	stats := Stats{Workers: w, Items: visited, Evaluated: total, Elapsed: time.Since(start)}
+	if visited == items {
+		// Every index was processed before the workers saw the
+		// cancellation: the traversal is complete, so report success —
+		// discarding finished work over a late cancel would be waste.
+		return stats, nil
+	}
+	return stats, ctx.Err()
 }
 
 // ChunkFunc processes the enumeration indices [lo, hi), adding frontier
@@ -166,8 +204,9 @@ type ChunkFunc func(lo, hi int64, b *pareto.Builder) int64
 // called once per worker to build its chunk function, so per-worker state
 // (an evaluator, a reusable mapping) lives in the closure without
 // synchronization. The result is byte-identical for every worker count.
-func Frontier(items int64, workers int, newWorker func() ChunkFunc) (*pareto.Curve, Stats) {
-	return FrontierRange(0, items, workers, newWorker)
+// A cancelled traversal returns (nil, stats, ctx.Err()).
+func Frontier(ctx context.Context, items int64, workers int, newWorker func() ChunkFunc) (*pareto.Curve, Stats, error) {
+	return FrontierRange(ctx, 0, items, workers, newWorker)
 }
 
 // FrontierRange is Frontier restricted to the global index window
@@ -178,30 +217,37 @@ func Frontier(items int64, workers int, newWorker func() ChunkFunc) (*pareto.Cur
 // the Pareto frontier of a union equals the frontier of the per-part
 // frontiers' union, curves derived over a disjoint cover of [0, items)
 // merge (pareto.Union) to the byte-identical full-range curve.
-func FrontierRange(lo, hi int64, workers int, newWorker func() ChunkFunc) (*pareto.Curve, Stats) {
+// A cancelled traversal returns (nil, stats, ctx.Err()) — never a curve
+// over an unidentifiable subset of the window.
+func FrontierRange(ctx context.Context, lo, hi int64, workers int, newWorker func() ChunkFunc) (*pareto.Curve, Stats, error) {
 	items := hi - lo
 	w := WorkerCount(items, workers)
 	builders := make([]*pareto.Builder, w)
-	stats := Partition(items, w, func(wi int) RangeFunc {
+	stats, err := Partition(ctx, items, w, func(wi int) RangeFunc {
 		fn := newWorker()
 		b := pareto.NewBuilder()
 		builders[wi] = b
 		return func(clo, chi int64) int64 { return fn(lo+clo, lo+chi, b) }
 	})
+	if err != nil {
+		return nil, stats, err
+	}
 	curves := make([]*pareto.Curve, 0, len(builders))
 	for _, b := range builders {
 		if b != nil {
 			curves = append(curves, b.Curve())
 		}
 	}
-	return pareto.Union(curves...), stats
+	return pareto.Union(curves...), stats, nil
 }
 
 // Each runs fn(i) for every index in [0, items) across workers. fn must be
 // safe for concurrent invocation on distinct indices; writing to
 // index-keyed slots of a pre-sized slice keeps results deterministic.
-func Each(items int64, workers int, fn func(i int64)) Stats {
-	return Partition(items, WorkerCount(items, workers), func(int) RangeFunc {
+// A cancelled traversal returns ctx.Err() with an unspecified subset of
+// indices visited.
+func Each(ctx context.Context, items int64, workers int, fn func(i int64)) (Stats, error) {
+	return Partition(ctx, items, WorkerCount(items, workers), func(int) RangeFunc {
 		return func(lo, hi int64) int64 {
 			for j := lo; j < hi; j++ {
 				fn(j)

@@ -1,6 +1,7 @@
 package traverse
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -28,10 +29,48 @@ func syntheticWorker() ChunkFunc {
 	}
 }
 
+// must* adapt the context-taking engine entry points for the many tests
+// that never cancel: Background context, fatal on the impossible error.
+func mustFrontier(t *testing.T, items int64, workers int, nw func() ChunkFunc) (*pareto.Curve, Stats) {
+	t.Helper()
+	c, st, err := Frontier(context.Background(), items, workers, nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, st
+}
+
+func mustFrontierRange(t *testing.T, lo, hi int64, workers int, nw func() ChunkFunc) (*pareto.Curve, Stats) {
+	t.Helper()
+	c, st, err := FrontierRange(context.Background(), lo, hi, workers, nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, st
+}
+
+func mustPartition(t *testing.T, items int64, workers int, nw func(w int) RangeFunc) Stats {
+	t.Helper()
+	st, err := Partition(context.Background(), items, workers, nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func mustEach(t *testing.T, items int64, workers int, fn func(i int64)) Stats {
+	t.Helper()
+	st, err := Each(context.Background(), items, workers, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
 func TestFrontierCoversEveryIndexOnce(t *testing.T) {
 	const items = 10000
 	var visits [items]atomic.Int32
-	_, stats := Frontier(items, 8, func() ChunkFunc {
+	_, stats := mustFrontier(t, items, 8, func() ChunkFunc {
 		return func(lo, hi int64, b *pareto.Builder) int64 {
 			for i := lo; i < hi; i++ {
 				visits[i].Add(1)
@@ -54,12 +93,12 @@ func TestFrontierCoversEveryIndexOnce(t *testing.T) {
 
 func TestFrontierMatchesSerialForAnyWorkerCount(t *testing.T) {
 	const items = 50000
-	serial, st := Frontier(items, 1, syntheticWorker)
+	serial, st := mustFrontier(t, items, 1, syntheticWorker)
 	if st.Workers != 1 {
 		t.Fatalf("serial run used %d workers", st.Workers)
 	}
 	for _, w := range []int{2, 3, 4, 7, 16} {
-		par, pst := Frontier(items, w, syntheticWorker)
+		par, pst := mustFrontier(t, items, w, syntheticWorker)
 		if pst.Evaluated != items {
 			t.Fatalf("workers=%d evaluated %d, want %d", w, pst.Evaluated, items)
 		}
@@ -76,7 +115,7 @@ func TestFrontierMatchesSerialForAnyWorkerCount(t *testing.T) {
 }
 
 func TestFrontierZeroItems(t *testing.T) {
-	c, stats := Frontier(0, 4, syntheticWorker)
+	c, stats := mustFrontier(t, 0, 4, syntheticWorker)
 	if !c.Empty() {
 		t.Fatal("zero items should yield an empty curve")
 	}
@@ -86,7 +125,7 @@ func TestFrontierZeroItems(t *testing.T) {
 }
 
 func TestFrontierClampsWorkersToItems(t *testing.T) {
-	_, stats := Frontier(3, 64, syntheticWorker)
+	_, stats := mustFrontier(t, 3, 64, syntheticWorker)
 	if stats.Workers > 3 {
 		t.Fatalf("launched %d workers for 3 items", stats.Workers)
 	}
@@ -96,7 +135,7 @@ func TestPartitionCoversEveryIndexOnce(t *testing.T) {
 	const items = 20000
 	var visits [items]atomic.Int32
 	w := WorkerCount(items, 8)
-	stats := Partition(items, w, func(int) RangeFunc {
+	stats := mustPartition(t, items, w, func(int) RangeFunc {
 		return func(lo, hi int64) int64 {
 			for i := lo; i < hi; i++ {
 				visits[i].Add(1)
@@ -120,7 +159,7 @@ func TestPartitionWorkerSlotsDense(t *testing.T) {
 	const items = 10000
 	w := WorkerCount(items, 6)
 	seen := make([]atomic.Int32, w)
-	Partition(items, w, func(wi int) RangeFunc {
+	mustPartition(t, items, w, func(wi int) RangeFunc {
 		if wi < 0 || wi >= w {
 			t.Errorf("slot %d out of range [0,%d)", wi, w)
 		} else {
@@ -139,7 +178,7 @@ func TestPartitionEvaluatedSumsRangeFuncReturns(t *testing.T) {
 	// Evaluated reflects what the range funcs report (e.g. pruned
 	// enumerations evaluate fewer points than indices).
 	const items = 1000
-	stats := Partition(items, WorkerCount(items, 4), func(int) RangeFunc {
+	stats := mustPartition(t, items, WorkerCount(items, 4), func(int) RangeFunc {
 		return func(lo, hi int64) int64 {
 			var n int64
 			for i := lo; i < hi; i++ {
@@ -160,7 +199,7 @@ func TestPartitionEvaluatedSumsRangeFuncReturns(t *testing.T) {
 
 func TestPartitionSerialAscendingOrder(t *testing.T) {
 	var got []int64
-	Partition(7, 1, func(int) RangeFunc {
+	mustPartition(t, 7, 1, func(int) RangeFunc {
 		return func(lo, hi int64) int64 {
 			for i := lo; i < hi; i++ {
 				got = append(got, i)
@@ -196,7 +235,7 @@ func TestWorkerCount(t *testing.T) {
 func TestEachCoversEveryIndexOnce(t *testing.T) {
 	const items = 4096
 	var visits [items]atomic.Int32
-	stats := Each(items, 8, func(i int64) { visits[i].Add(1) })
+	stats := mustEach(t, items, 8, func(i int64) { visits[i].Add(1) })
 	for i := range visits {
 		if n := visits[i].Load(); n != 1 {
 			t.Fatalf("index %d visited %d times", i, n)
@@ -209,7 +248,7 @@ func TestEachCoversEveryIndexOnce(t *testing.T) {
 
 func TestEachSerialOrder(t *testing.T) {
 	var got []int64
-	Each(5, 1, func(i int64) { got = append(got, i) })
+	mustEach(t, 5, 1, func(i int64) { got = append(got, i) })
 	for i, v := range got {
 		if int64(i) != v {
 			t.Fatalf("serial Each out of order: %v", got)
@@ -306,7 +345,7 @@ func TestFrontierRangeWindow(t *testing.T) {
 			return hi - lo
 		}
 	}
-	curve, stats := FrontierRange(30, 60, 3, mk)
+	curve, stats := mustFrontierRange(t, 30, 60, 3, mk)
 	if curve.Len() != 30 {
 		t.Fatalf("window curve has %d points, want 30", curve.Len())
 	}
@@ -319,10 +358,10 @@ func TestFrontierRangeWindow(t *testing.T) {
 	}
 
 	// A disjoint cover of [0, 100) unions to the full-range frontier.
-	full, _ := Frontier(100, 2, mk)
+	full, _ := mustFrontier(t, 100, 2, mk)
 	var parts []*pareto.Curve
 	for _, cut := range [][2]int64{{0, 7}, {7, 60}, {60, 60}, {60, 100}} {
-		c, _ := FrontierRange(cut[0], cut[1], 2, mk)
+		c, _ := mustFrontierRange(t, cut[0], cut[1], 2, mk)
 		parts = append(parts, c)
 	}
 	union := pareto.Union(parts...)
