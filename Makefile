@@ -5,7 +5,7 @@
 RACE_PKGS := ./internal/bound ./internal/pareto ./internal/fusion \
              ./internal/traverse ./internal/mapping \
              ./internal/multilevel ./internal/simba \
-             ./internal/shard ./internal/supervise
+             ./internal/shard ./internal/supervise ./internal/serve
 
 # The fault-injection and supervision suites: every scripted I/O failure,
 # kill and cancellation must end in a successful retry or a named,
@@ -13,7 +13,7 @@ RACE_PKGS := ./internal/bound ./internal/pareto ./internal/fusion \
 # already shortened to milliseconds.
 ROBUST_PKGS := ./internal/shard ./internal/supervise ./internal/traverse
 
-.PHONY: all vet build test race robust docs ci
+.PHONY: all vet build test race robust serve docs ci
 
 all: ci
 
@@ -41,4 +41,10 @@ race:
 robust:
 	go test -race -count=1 $(ROBUST_PKGS)
 
-ci: vet build test race robust docs
+# The derivation-server suite under the race detector: deadlines,
+# cache-stampede single-flight, saturation shedding, panic containment,
+# drain, and kill-and-resume through the spool directory.
+serve:
+	go test -race -count=1 ./internal/serve
+
+ci: vet build test race robust serve docs

@@ -1,0 +1,102 @@
+// Command orojenesisd serves data-movement bound derivations over HTTP:
+// a long-running counterpart to the orojenesis CLI for fleets that probe
+// many workloads against one warm process. POST a workload spec to
+// /v1/curve and get the Pareto frontier back as JSON — byte-identical to
+// the in-process derivation — with admission control, per-request
+// deadlines, single-flight result caching, panic containment, and
+// graceful drain (SIGTERM checkpoints in-flight sharded derivations into
+// the spool directory; a restarted server resumes them).
+//
+// Example:
+//
+//	orojenesisd -addr :8080 -spool /var/lib/orojenesisd &
+//	curl -s localhost:8080/v1/curve -d '{"gemm":{"m":512,"k":512,"n":512}}'
+//
+// See docs/server-api.md for the full API.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("orojenesisd: ")
+
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "traversal goroutines per derivation (0 = GOMAXPROCS)")
+	maxConcurrent := flag.Int("max-concurrent", 0, "simultaneous derivations (0 = GOMAXPROCS)")
+	maxQueue := flag.Int("max-queue", 0, "derivations waiting for a slot before 429 (0 = 4x max-concurrent)")
+	queueWait := flag.Duration("queue-wait", 0, "longest a queued derivation waits before 429 (0 = 10s)")
+	defaultTimeout := flag.Duration("timeout", 0, "default per-request deadline (0 = 60s)")
+	maxTimeout := flag.Duration("max-timeout", 0, "cap on client-requested deadlines (0 = 10m)")
+	cacheEntries := flag.Int("cache", 0, "result-cache capacity in curves (0 = 128)")
+	spool := flag.String("spool", "", "spool directory for sharded derivations (empty disables the shards request field)")
+	checkpoint := flag.Int64("checkpoint", 0, "tiling indices per checkpoint flush for spooled shards (0 = shard default)")
+	retries := flag.Int("retries", 0, "per-shard retry budget for spooled derivations (0 = default)")
+	maxShards := flag.Int("max-shards", 0, "cap on the per-request shard count (0 = 64)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight derivations before cancelling them")
+	flag.Parse()
+
+	if *spool != "" {
+		if err := os.MkdirAll(*spool, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	srv := serve.New(serve.Config{
+		Workers:         *workers,
+		MaxConcurrent:   *maxConcurrent,
+		MaxQueue:        *maxQueue,
+		QueueWait:       *queueWait,
+		DefaultTimeout:  *defaultTimeout,
+		MaxTimeout:      *maxTimeout,
+		CacheEntries:    *cacheEntries,
+		SpoolDir:        *spool,
+		CheckpointEvery: *checkpoint,
+		ShardRetries:    *retries,
+		MaxShards:       *maxShards,
+		Logf:            log.Printf,
+	})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("listening on %s (spool %q)", *addr, *spool)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("draining (up to %s)...", *drainTimeout)
+
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(dctx); err != nil {
+		log.Printf("drain cut short: %v (sharded progress checkpointed in spool)", err)
+	}
+	if err := httpSrv.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("http shutdown: %v", err)
+	}
+	log.Printf("stopped")
+}

@@ -119,8 +119,11 @@ func Space(e *einsum.Einsum, opts Options) int64 {
 func Derive(e *einsum.Einsum, opts Options) Result {
 	r, err := DeriveRange(context.Background(), e, opts, 0, Space(e, opts))
 	if err != nil {
-		// Unreachable: DeriveRange fails only on context cancellation,
-		// and the background context never cancels.
+		// DeriveRange fails only on context cancellation (impossible under
+		// the background context) or a recovered evaluator panic
+		// (traverse.PanicError); re-panicking the latter preserves Derive's
+		// historical crash-on-bug behavior for direct callers, while error-
+		// path callers (the serve package) use DeriveRange and contain it.
 		panic(err.Error())
 	}
 	return r

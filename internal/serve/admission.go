@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// errSaturated is the admission controller's refusal: every derivation
+// slot is busy and either the queue is full or the queue wait budget
+// expired. Handlers translate it to 429 + Retry-After — the server sheds
+// load explicitly instead of accepting unbounded work and dying of it.
+var errSaturated = errors.New("serve: derivation capacity saturated")
+
+// admission is the server's load regulator: a bounded semaphore of
+// derivation slots plus a bounded wait queue. A flight first tries to
+// take a slot immediately; failing that it queues, but only if fewer
+// than maxQueue flights are already waiting, and only for up to wait —
+// after either bound the flight fails with errSaturated. Identical
+// concurrent requests cost one queue entry because admission gates
+// flights (deduplicated derivations), not requests.
+type admission struct {
+	slots    chan struct{}
+	queued   chan struct{}
+	wait     time.Duration
+	capacity int
+}
+
+// newAdmission sizes the regulator: concurrent derivation slots, queued
+// flights beyond them, and the maximum time a queued flight waits.
+func newAdmission(concurrent, queue int, wait time.Duration) *admission {
+	return &admission{
+		slots:    make(chan struct{}, concurrent),
+		queued:   make(chan struct{}, queue),
+		wait:     wait,
+		capacity: concurrent,
+	}
+}
+
+// acquire takes a derivation slot, queueing within the configured bounds.
+// It returns nil once the slot is held, errSaturated when the queue is
+// full or the wait budget expires, or the context's error if ctx is
+// cancelled while waiting (all waiters left, or server shutdown).
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	select {
+	case a.queued <- struct{}{}:
+		defer func() { <-a.queued }()
+	default:
+		return errSaturated
+	}
+	t := time.NewTimer(a.wait)
+	defer t.Stop()
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	case <-t.C:
+		return errSaturated
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns a slot taken by acquire.
+func (a *admission) release() { <-a.slots }
+
+// inFlight reports how many derivation slots are currently held.
+func (a *admission) inFlight() int { return len(a.slots) }
+
+// queueDepth reports how many flights are waiting for a slot.
+func (a *admission) queueDepth() int { return len(a.queued) }

@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/pareto"
+)
+
+// result is a finished derivation: the frontier plus the work it cost.
+// Cached responses replay the original evaluated count and elapsed time,
+// so clients can still see what the derivation cost when it actually ran.
+type result struct {
+	curve     *pareto.Curve
+	evaluated int64
+	elapsed   time.Duration
+}
+
+// flight is one in-progress derivation that any number of identical
+// requests attach to. The first joiner becomes the leader and runs the
+// derivation under ctx (a child of the server's lifetime context, NOT of
+// any request's context — a leader hanging up must not kill the result
+// its late joiners are waiting for). Each waiter honors its own deadline
+// by selecting on done versus its request context; waiters that give up
+// call leave, and when the count hits zero the flight's ctx is cancelled
+// so an unwanted derivation stops at chunk granularity instead of
+// burning a slot to completion.
+type flight struct {
+	key    string
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	// res and err are set exactly once, before done is closed.
+	res result
+	err error
+
+	waiters  int
+	finished bool
+}
+
+// centry is one LRU cache slot.
+type centry struct {
+	key string
+	res result
+}
+
+// store is the digest-keyed result cache plus the single-flight table,
+// under one mutex: a finishing flight inserts its result and removes
+// itself atomically, so there is no window in which a new request sees
+// neither the cached result nor the running flight and starts a
+// duplicate derivation.
+type store struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List               // of *centry; front = most recent
+	entries  map[string]*list.Element // key -> element in order
+	flights  map[string]*flight
+}
+
+func newStore(capacity int) *store {
+	return &store{
+		capacity: capacity,
+		order:    list.New(),
+		entries:  make(map[string]*list.Element),
+		flights:  make(map[string]*flight),
+	}
+}
+
+// get returns the cached result for key, refreshing its recency.
+func (s *store) get(key string) (result, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[key]
+	if !ok {
+		return result{}, false
+	}
+	s.order.MoveToFront(el)
+	return el.Value.(*centry).res, true
+}
+
+// join attaches the caller to the flight for key, creating it if absent.
+// The second return reports leadership: the leader must start the
+// derivation and eventually call finish; everyone (leader included, via
+// its request handler) waits on f.done or leaves.
+func (s *store) join(base context.Context, key string) (f *flight, leader bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f, ok := s.flights[key]; ok {
+		f.waiters++
+		return f, false
+	}
+	ctx, cancel := context.WithCancel(base)
+	f = &flight{
+		key:     key,
+		ctx:     ctx,
+		cancel:  cancel,
+		done:    make(chan struct{}),
+		waiters: 1,
+	}
+	s.flights[key] = f
+	return f, true
+}
+
+// leave detaches a waiter that gave up (deadline expired, client
+// disconnected). When the last waiter leaves an unfinished flight, the
+// flight's context is cancelled: nobody wants the answer anymore, so the
+// traversal stops and frees its slot for admitted work.
+func (s *store) leave(f *flight) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f.waiters--
+	if f.waiters <= 0 && !f.finished {
+		f.cancel()
+	}
+}
+
+// finish publishes the flight's outcome: result and error are recorded,
+// waiters are released, the flight leaves the table, and — in the same
+// critical section — a successful result enters the cache. Failed
+// derivations are never cached; the next identical request retries.
+func (s *store) finish(f *flight, res result, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f.res, f.err = res, err
+	f.finished = true
+	if err == nil {
+		s.putLocked(f.key, res)
+	}
+	delete(s.flights, f.key)
+	close(f.done)
+}
+
+// putLocked inserts or refreshes a cache entry and evicts from the cold
+// end past capacity. Caller holds mu.
+func (s *store) putLocked(key string, res result) {
+	if s.capacity <= 0 {
+		return
+	}
+	if el, ok := s.entries[key]; ok {
+		el.Value.(*centry).res = res
+		s.order.MoveToFront(el)
+		return
+	}
+	s.entries[key] = s.order.PushFront(&centry{key: key, res: res})
+	for len(s.entries) > s.capacity {
+		el := s.order.Back()
+		s.order.Remove(el)
+		delete(s.entries, el.Value.(*centry).key)
+	}
+}
+
+// len reports the number of cached results.
+func (s *store) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}

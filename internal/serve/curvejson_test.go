@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"testing"
+
+	"repro/internal/pareto"
+)
+
+// TestConcurrentCurveJSONUnderCache exercises the sharing the server
+// cache creates: one *pareto.Curve is simultaneously marshalled by
+// response writers (cache hits encode the same pointer concurrently) and
+// queried through its read API by other goroutines. Run under -race this
+// pins down that Curve's query/serialize surface is safe to share, and
+// that every marshal round-trips to identical bytes.
+func TestConcurrentCurveJSONUnderCache(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	body := `{"gemm":{"m":32,"k":24,"n":16}}`
+	status, data := postCurve(t, ts.URL, body)
+	if status != http.StatusOK {
+		t.Fatalf("seed: status %d: %s", status, data)
+	}
+	want := string(decodeEnvelope(t, data).Curve)
+
+	// The cached curve pointer — the object every future hit shares.
+	res, ok := s.store.get(s.onlyCachedKey(t))
+	if !ok {
+		t.Fatal("seeded result not in cache")
+	}
+	curve := res.curve
+
+	const goroutines = 8
+	const rounds = 50
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+
+	// Half the goroutines hammer the HTTP path (server-side marshal of
+	// the shared curve) and direct json.Marshal round-trips.
+	for g := 0; g < goroutines/2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				raw, err := json.Marshal(curve)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if string(raw) != want {
+					t.Errorf("concurrent marshal diverged")
+					return
+				}
+				var rt pareto.Curve
+				if err := json.Unmarshal(raw, &rt); err != nil {
+					errs <- err
+					return
+				}
+				back, err := json.Marshal(&rt)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if string(back) != want {
+					t.Errorf("round-trip diverged")
+					return
+				}
+				if st, data := postCurve(t, ts.URL, body); st != http.StatusOK {
+					t.Errorf("hit %d: status %d: %s", i, st, data)
+					return
+				}
+			}
+		}()
+	}
+	// The other half query the same curve through its read API.
+	for g := 0; g < goroutines/2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lo, hi := curve.MinBufferBytes(), curve.MaxEffectualBufferBytes()
+			for i := 0; i < rounds; i++ {
+				for buf := lo; buf <= hi; buf += (hi-lo)/16 + 1 {
+					if acc, ok := curve.AccessesAt(buf); ok && acc < curve.MinAccessBytes() {
+						t.Errorf("AccessesAt(%d) below curve minimum", buf)
+						return
+					}
+				}
+				for _, p := range curve.Points() {
+					if p.AccessBytes <= 0 {
+						t.Errorf("non-positive access bytes in shared curve")
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// onlyCachedKey returns the single key in the server's cache.
+func (s *Server) onlyCachedKey(t *testing.T) string {
+	t.Helper()
+	s.store.mu.Lock()
+	defer s.store.mu.Unlock()
+	if len(s.store.entries) != 1 {
+		t.Fatalf("cache holds %d entries, want 1", len(s.store.entries))
+	}
+	for k := range s.store.entries {
+		return k
+	}
+	return ""
+}

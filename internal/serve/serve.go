@@ -1,0 +1,527 @@
+// Package serve is the long-running derivation service: orojenesisd's
+// engine room. It wraps the repo's bound-derivation paths (two-level
+// bound, three-level multilevel, tiled fusion) behind an HTTP API that
+// stays predictable under the failure modes long-lived servers actually
+// meet:
+//
+//   - Deadlines and disconnects. Every request runs under a context that
+//     merges the client connection, a per-request timeout, and the server
+//     lifetime; cancellation reaches the traversal engine at chunk
+//     granularity, so an abandoned request stops burning CPU within one
+//     chunk.
+//   - Admission control. Concurrent derivations are bounded by a slot
+//     semaphore with a bounded, time-budgeted wait queue; past both
+//     bounds the server sheds load with 429 + Retry-After instead of
+//     queueing without bound.
+//   - Single-flight caching. Results are cached in a digest-keyed LRU,
+//     and concurrent identical requests — keyed by the same canonical
+//     workload/options encodings the sharded format uses — share one
+//     derivation. A stampede of N requests costs one traversal.
+//   - Panic containment. A panic anywhere in a derivation (traversal
+//     workers already recover their own; the flight runner recovers the
+//     rest) becomes a structured 500 with the stack in the server log.
+//     The process never crashes on a request.
+//   - Graceful drain. Drain stops admissions, lets in-flight work finish
+//     within a deadline, then cancels the rest — and because sharded
+//     derivations checkpoint partial frontiers in the spool directory,
+//     a restarted server resumes them instead of starting over.
+//
+// The package is deliberately transport-thin: everything interesting is
+// in how requests map onto the existing derivation engine, so the served
+// curves are byte-identical to what bound.Derive and friends produce
+// in-process.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/pareto"
+	"repro/internal/shard"
+	"repro/internal/supervise"
+	"repro/internal/traverse"
+)
+
+// maxBodyBytes bounds request bodies; workload specs are tiny, so
+// anything larger is abuse or a mistake.
+const maxBodyBytes = 1 << 20
+
+// Config tunes a Server. The zero value is usable: every field has a
+// sensible default resolved by New.
+type Config struct {
+	// Workers is the traversal worker count per derivation; <= 0 means
+	// GOMAXPROCS. Results are identical for every worker count.
+	Workers int
+
+	// MaxConcurrent bounds simultaneously running derivations; <= 0
+	// means GOMAXPROCS.
+	MaxConcurrent int
+
+	// MaxQueue bounds flights waiting for a derivation slot; <= 0 means
+	// 4 × MaxConcurrent.
+	MaxQueue int
+
+	// QueueWait is the longest a queued flight waits for a slot before
+	// the server sheds it with 429; <= 0 means 10s.
+	QueueWait time.Duration
+
+	// DefaultTimeout applies to requests that set no timeout_ms;
+	// MaxTimeout clamps requests that ask for more. Defaults: 60s, 10m.
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+
+	// CacheEntries is the result LRU capacity; <= 0 means 128.
+	CacheEntries int
+
+	// SpoolDir, when set, enables sharded derivations (request field
+	// "shards"): each runs supervised and checkpointed under
+	// SpoolDir/<digest prefix>, so a killed server resumes rather than
+	// restarts them. Empty disables sharded requests.
+	SpoolDir string
+
+	// CheckpointEvery is the per-shard checkpoint stride for spooled
+	// derivations (shard.RunOptions semantics; 0 means the shard
+	// package default).
+	CheckpointEvery int64
+
+	// ShardRetries is the per-shard retry budget for spooled
+	// derivations (supervise.Options.MaxRetries semantics).
+	ShardRetries int
+
+	// MaxShards bounds the per-request shard count; <= 0 means 64.
+	MaxShards int
+
+	// Logf, when non-nil, receives operational log lines (recovered
+	// panics with stacks, spool cleanup problems, shard retries).
+	Logf func(format string, args ...any)
+
+	// OnCheckpoint, when non-nil, observes every checkpoint flush of
+	// every spooled sharded derivation — the hook drain tests and
+	// progress monitors use.
+	OnCheckpoint func(shard.Manifest)
+
+	// deriveWrap, when non-nil, wraps every derivation function just
+	// before it runs — the test seam for injecting slow, panicking, or
+	// counting derivations without touching the engine.
+	deriveWrap func(d *derivation, fn deriveFn) deriveFn
+}
+
+// Server is the derivation service. Construct with New, mount Handler on
+// any http.Server, and stop with Drain (graceful) or Close (immediate).
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	store   *store
+	adm     *admission
+	stats   counters
+	started time.Time
+
+	// base is the server lifetime context: parent of every flight.
+	base       context.Context
+	cancelBase context.CancelFunc
+
+	// draining closes admissions; flightMu serializes the
+	// draining-check-then-Add against Drain's barrier so no flight
+	// starts after the drain wait begins.
+	draining atomic.Bool
+	flightMu sync.Mutex
+	wg       sync.WaitGroup
+}
+
+// New constructs a Server from cfg, resolving defaults.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 4 * cfg.MaxConcurrent
+	}
+	if cfg.QueueWait <= 0 {
+		cfg.QueueWait = 10 * time.Second
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 60 * time.Second
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = 10 * time.Minute
+	}
+	if cfg.CacheEntries <= 0 {
+		cfg.CacheEntries = 128
+	}
+	if cfg.MaxShards <= 0 {
+		cfg.MaxShards = 64
+	}
+	base, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		mux:        http.NewServeMux(),
+		store:      newStore(cfg.CacheEntries),
+		adm:        newAdmission(cfg.MaxConcurrent, cfg.MaxQueue, cfg.QueueWait),
+		started:    time.Now(),
+		base:       base,
+		cancelBase: cancel,
+	}
+	s.mux.HandleFunc("/v1/curve", s.handleCurve)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain gracefully stops the server: admissions close immediately (new
+// curve requests get 503 draining), in-flight derivations run to
+// completion, and if ctx expires first the remainder are cancelled —
+// spooled sharded derivations flush final checkpoints on the way out, so
+// a successor process resumes them. Returns ctx.Err when the deadline
+// cut the drain short, nil on a clean drain.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	// Barrier: any handler that passed the draining check before the
+	// store is inside flightMu; after this lock cycles, no new flight
+	// can start.
+	s.flightMu.Lock()
+	s.flightMu.Unlock() //nolint:staticcheck // empty critical section is the barrier
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.cancelBase()
+		return nil
+	case <-ctx.Done():
+		s.cancelBase()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close stops the server immediately: admissions close and every
+// in-flight derivation is cancelled at chunk granularity.
+func (s *Server) Close() {
+	s.draining.Store(true)
+	s.cancelBase()
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// CurveResponse is the success body of POST /v1/curve.
+type CurveResponse struct {
+	// Workload is the human-readable workload label.
+	Workload string `json:"workload"`
+	// Kind is the derivation path (bound, multilevel, fusion-tiled).
+	Kind string `json:"kind"`
+	// Digest is the derivation's stable identity: identical requests —
+	// across processes — share it.
+	Digest string `json:"digest"`
+	// Cached reports whether the curve came from the result cache.
+	Cached bool `json:"cached"`
+	// Shards echoes the sharded execution width (0 = in-process).
+	Shards int `json:"shards,omitempty"`
+	// Evaluated is the number of mappings the derivation evaluated (the
+	// original derivation's count when Cached).
+	Evaluated int64 `json:"evaluated"`
+	// ElapsedMS is the derivation wall time (original time when Cached).
+	ElapsedMS int64 `json:"elapsed_ms"`
+	// Points is the number of frontier breakpoints in Curve.
+	Points int `json:"points"`
+	// Curve is the Pareto frontier in the pareto package's JSON schema.
+	Curve *pareto.Curve `json:"curve"`
+}
+
+// ErrorInfo is the machine-readable error payload.
+type ErrorInfo struct {
+	// Code is one of: invalid_request, invalid_workload,
+	// method_not_allowed, saturated, draining, deadline, panic,
+	// internal.
+	Code string `json:"code"`
+	// Message is the human-readable detail.
+	Message string `json:"message"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error ErrorInfo `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string, retryAfter time.Duration) {
+	if retryAfter > 0 {
+		secs := int64(retryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
+	writeJSON(w, status, ErrorResponse{Error: ErrorInfo{Code: code, Message: msg}})
+}
+
+// handleCurve is POST /v1/curve: parse and validate, consult the cache,
+// join or lead the single flight, and wait under the request's own
+// deadline.
+func (s *Server) handleCurve(w http.ResponseWriter, r *http.Request) {
+	s.stats.requests.Add(1)
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use POST", 0)
+		return
+	}
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining",
+			"server is draining; retry against another replica", time.Second)
+		return
+	}
+
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req Request
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_request", err.Error(), 0)
+		return
+	}
+	if req.TimeoutMS < 0 {
+		writeError(w, http.StatusBadRequest, "invalid_request", "negative timeout_ms", 0)
+		return
+	}
+	if req.Shards < 0 || req.Shards > s.cfg.MaxShards {
+		writeError(w, http.StatusBadRequest, "invalid_request",
+			fmt.Sprintf("shards %d outside [0, %d]", req.Shards, s.cfg.MaxShards), 0)
+		return
+	}
+	if req.Shards > 1 && s.cfg.SpoolDir == "" {
+		writeError(w, http.StatusBadRequest, "invalid_request",
+			"sharded derivation disabled: server has no spool directory", 0)
+		return
+	}
+	d, err := buildDerivation(&req, s.cfg.Workers)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_workload", err.Error(), 0)
+		return
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	if !req.NoCache {
+		if res, ok := s.store.get(d.key); ok {
+			s.stats.hits.Add(1)
+			s.respond(w, d, &req, res, true)
+			return
+		}
+	}
+	s.stats.misses.Add(1)
+
+	f, leader := s.store.join(s.base, d.key)
+	if leader {
+		// Re-check draining under flightMu: Drain's barrier guarantees
+		// that once it proceeds to wait, no new flight passes here.
+		s.flightMu.Lock()
+		if s.draining.Load() {
+			s.flightMu.Unlock()
+			f.cancel()
+			s.store.finish(f, result{}, context.Canceled)
+			s.store.leave(f)
+			writeError(w, http.StatusServiceUnavailable, "draining",
+				"server is draining; retry against another replica", time.Second)
+			return
+		}
+		s.wg.Add(1)
+		s.flightMu.Unlock()
+		go s.runFlight(f, d, req.Shards)
+	}
+
+	select {
+	case <-f.done:
+		// finish has published res/err; waiters read them after done.
+		if f.err != nil {
+			s.store.leave(f)
+			s.writeDeriveError(w, f.err)
+			return
+		}
+		s.store.leave(f)
+		s.respond(w, d, &req, f.res, false)
+	case <-ctx.Done():
+		s.store.leave(f)
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			s.stats.deadlines.Add(1)
+			writeError(w, http.StatusGatewayTimeout, "deadline",
+				fmt.Sprintf("derivation exceeded the request deadline (%s)", timeout), 0)
+		}
+		// Client disconnect: nobody is listening; write nothing.
+	}
+}
+
+// respond writes the 200 envelope.
+func (s *Server) respond(w http.ResponseWriter, d *derivation, req *Request, res result, cached bool) {
+	writeJSON(w, http.StatusOK, CurveResponse{
+		Workload:  d.label,
+		Kind:      string(d.kind),
+		Digest:    d.digest,
+		Cached:    cached,
+		Shards:    req.Shards,
+		Evaluated: res.evaluated,
+		ElapsedMS: res.elapsed.Milliseconds(),
+		Points:    res.curve.Len(),
+		Curve:     res.curve,
+	})
+}
+
+// writeDeriveError maps a flight failure onto the error taxonomy.
+func (s *Server) writeDeriveError(w http.ResponseWriter, err error) {
+	var pe *traverse.PanicError
+	switch {
+	case errors.Is(err, errSaturated):
+		s.stats.saturated.Add(1)
+		writeError(w, http.StatusTooManyRequests, "saturated",
+			"derivation capacity and queue are full; retry later", s.cfg.QueueWait)
+	case errors.As(err, &pe):
+		writeError(w, http.StatusInternalServerError, "panic",
+			"derivation panicked; see server logs", 0)
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The flight itself was cancelled — that only happens under
+		// server shutdown (flights outlive request deadlines as long as
+		// any waiter remains).
+		writeError(w, http.StatusServiceUnavailable, "draining",
+			"derivation cancelled by server shutdown; sharded progress was checkpointed", time.Second)
+	default:
+		writeError(w, http.StatusInternalServerError, "internal", err.Error(), 0)
+	}
+}
+
+// runFlight is the flight leader's goroutine: admission, derivation,
+// panic containment, and publication. It runs under the flight context —
+// a child of the server lifetime, cancelled early only when every waiter
+// has left or the server shuts down.
+func (s *Server) runFlight(f *flight, d *derivation, shards int) {
+	defer s.wg.Done()
+	defer f.cancel()
+	start := time.Now()
+	var res result
+	var err error
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				err = traverse.Recovered(r)
+			}
+		}()
+		if err = s.adm.acquire(f.ctx); err != nil {
+			return
+		}
+		defer s.adm.release()
+		fn := d.run
+		if shards > 1 {
+			fn = s.spooledDerive(d, shards)
+		}
+		if s.cfg.deriveWrap != nil {
+			fn = s.cfg.deriveWrap(d, fn)
+		}
+		res.curve, res.evaluated, err = fn(f.ctx)
+	}()
+	res.elapsed = time.Since(start)
+	var pe *traverse.PanicError
+	if errors.As(err, &pe) {
+		s.stats.panics.Add(1)
+		s.logf("serve: recovered panic in derivation %s (%.12s): %v\n%s",
+			d.label, d.digest, pe.Value, pe.Stack)
+	}
+	if err == nil {
+		if res.curve == nil {
+			err = fmt.Errorf("serve: derivation %s returned no curve", d.label)
+		} else {
+			s.stats.derivations.Add(1)
+			s.stats.evaluated.Add(res.evaluated)
+			s.stats.deriveNanos.Add(int64(res.elapsed))
+		}
+	}
+	s.store.finish(f, res, err)
+}
+
+// spooledDerive runs the derivation as a supervised, checkpointed shard
+// fleet in the spool directory. The subdirectory is the derivation
+// digest, so an interrupted run's partial frontiers are found — and
+// resumed, not recomputed — by any later server process given the same
+// spool. On success the subdirectory is removed; on cancellation it is
+// kept as the resume point.
+func (s *Server) spooledDerive(d *derivation, shards int) deriveFn {
+	return func(ctx context.Context) (*pareto.Curve, int64, error) {
+		dir := filepath.Join(s.cfg.SpoolDir, fmt.Sprintf("%.16s", d.digest))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, 0, err
+		}
+		report, err := supervise.Run(ctx, shards, d.mkJob, supervise.Options{
+			Dir:             dir,
+			CheckpointEvery: s.cfg.CheckpointEvery,
+			MaxRetries:      s.cfg.ShardRetries,
+			Logf:            s.cfg.Logf,
+			OnCheckpoint:    s.cfg.OnCheckpoint,
+		})
+		var evaluated int64
+		if report != nil {
+			for _, st := range report.Shards {
+				evaluated += st.Evaluated
+			}
+		}
+		if err != nil {
+			return nil, evaluated, err
+		}
+		if rmErr := os.RemoveAll(dir); rmErr != nil {
+			s.logf("serve: cleaning spool %s: %v", dir, rmErr)
+		}
+		return report.Curve, evaluated, nil
+	}
+}
+
+// handleHealthz is liveness: 200 as long as the process serves HTTP.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is readiness: 200 while accepting work, 503 once
+// draining — load balancers stop routing before the listener closes.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// handleStats is GET /stats: the Stats snapshot.
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Snapshot())
+}

@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// counters is the server's lock-free operational telemetry.
+type counters struct {
+	requests    atomic.Int64
+	hits        atomic.Int64
+	misses      atomic.Int64
+	derivations atomic.Int64
+	panics      atomic.Int64
+	saturated   atomic.Int64
+	deadlines   atomic.Int64
+	evaluated   atomic.Int64
+	deriveNanos atomic.Int64
+}
+
+// Stats is the GET /stats response: a point-in-time snapshot of the
+// server's health and throughput. Counters are cumulative since process
+// start; rates are derived from them at snapshot time.
+type Stats struct {
+	// UptimeSeconds since the server was constructed.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Draining reports whether admissions are closed for shutdown.
+	Draining bool `json:"draining"`
+
+	// Requests counts every request to /v1/curve.
+	Requests int64 `json:"requests"`
+	// CacheHits and CacheMisses split curve requests by cache outcome;
+	// CacheHitRate is hits over their sum (0 when no lookups yet).
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// CacheEntries of CacheCapacity results currently live in the LRU.
+	CacheEntries  int `json:"cache_entries"`
+	CacheCapacity int `json:"cache_capacity"`
+
+	// InFlight derivations hold slots now; QueueDepth flights wait for
+	// one.
+	InFlight   int `json:"in_flight"`
+	QueueDepth int `json:"queue_depth"`
+
+	// Derivations counts completed (successful) derivations;
+	// PanicsRecovered, Saturated and DeadlineExpired count the failure
+	// modes the server absorbed (worker panic contained to a 500, load
+	// shed with 429, request deadline expired with 504).
+	Derivations     int64 `json:"derivations"`
+	PanicsRecovered int64 `json:"panics_recovered"`
+	Saturated       int64 `json:"saturated"`
+	DeadlineExpired int64 `json:"deadline_expired"`
+
+	// MappingsEvaluated is the cumulative mapping count across all
+	// successful derivations; DeriveSeconds the wall time they took; and
+	// MappingsPerSec their ratio — the server-wide traversal throughput.
+	MappingsEvaluated int64   `json:"mappings_evaluated"`
+	DeriveSeconds     float64 `json:"derive_seconds"`
+	MappingsPerSec    float64 `json:"mappings_per_sec"`
+}
+
+// Snapshot assembles the current Stats.
+func (s *Server) Snapshot() Stats {
+	hits, misses := s.stats.hits.Load(), s.stats.misses.Load()
+	var rate float64
+	if hits+misses > 0 {
+		rate = float64(hits) / float64(hits+misses)
+	}
+	nanos := s.stats.deriveNanos.Load()
+	eval := s.stats.evaluated.Load()
+	var mps float64
+	if nanos > 0 {
+		mps = float64(eval) / (time.Duration(nanos)).Seconds()
+	}
+	return Stats{
+		UptimeSeconds:     time.Since(s.started).Seconds(),
+		Draining:          s.draining.Load(),
+		Requests:          s.stats.requests.Load(),
+		CacheHits:         hits,
+		CacheMisses:       misses,
+		CacheHitRate:      rate,
+		CacheEntries:      s.store.len(),
+		CacheCapacity:     s.cfg.CacheEntries,
+		InFlight:          s.adm.inFlight(),
+		QueueDepth:        s.adm.queueDepth(),
+		Derivations:       s.stats.derivations.Load(),
+		PanicsRecovered:   s.stats.panics.Load(),
+		Saturated:         s.stats.saturated.Load(),
+		DeadlineExpired:   s.stats.deadlines.Load(),
+		MappingsEvaluated: eval,
+		DeriveSeconds:     (time.Duration(nanos)).Seconds(),
+		MappingsPerSec:    mps,
+	}
+}

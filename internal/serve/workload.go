@@ -1,0 +1,282 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/bound"
+	"repro/internal/einsum"
+	"repro/internal/fusion"
+	"repro/internal/multilevel"
+	"repro/internal/pareto"
+	"repro/internal/shard"
+)
+
+// Request is the body of POST /v1/curve: exactly one workload source
+// (Einsum expression, GEMM shape, or fused chain), optional derivation
+// options, and per-request execution knobs. Unknown fields are rejected
+// so a typo degrades to a 400, never to a silently different derivation.
+type Request struct {
+	// Einsum is a workload in the expression syntax accepted by the
+	// einsum package parser (the same strings the CLI accepts).
+	Einsum string `json:"einsum,omitempty"`
+
+	// GEMM is a shorthand for the M×K×N matrix-multiply workload.
+	GEMM *GEMMSpec `json:"gemm,omitempty"`
+
+	// Chain requests the tiled-fusion frontier of a chain of Einsums
+	// (FFMT template sweep). Mutually exclusive with options and
+	// multilevel, which are single-Einsum concepts.
+	Chain *ChainSpec `json:"chain,omitempty"`
+
+	// MultiLevel switches a single-Einsum request from the two-level
+	// bound to the three-level (L1/L2/DRAM) derivation; the response
+	// curve is the DRAM frontier.
+	MultiLevel *MultiLevelSpec `json:"multilevel,omitempty"`
+
+	// Options are the result-affecting two-level bound options.
+	Options OptionsSpec `json:"options,omitempty"`
+
+	// TimeoutMS bounds this request's wall time in milliseconds. Zero
+	// means the server default; values above the server maximum are
+	// clamped to it.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+
+	// Shards, when > 1, runs the derivation as that many supervised,
+	// checkpointed shard jobs in the server's spool directory, making it
+	// resumable across a server restart.
+	Shards int `json:"shards,omitempty"`
+
+	// NoCache skips the cache lookup (the fresh result still enters the
+	// cache, and concurrent identical requests still deduplicate).
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// GEMMSpec names an M×K×N matrix multiply.
+type GEMMSpec struct {
+	// Name labels the workload; empty means "gemm_MxKxN".
+	Name string `json:"name,omitempty"`
+	// M, K, N are the GEMM extents; all must be >= 1.
+	M int64 `json:"m"`
+	K int64 `json:"k"`
+	N int64 `json:"n"`
+}
+
+// ChainSpec names a chain of producer-consumer Einsums for the
+// tiled-fusion sweep.
+type ChainSpec struct {
+	// Name labels the chain; empty means "chain".
+	Name string `json:"name,omitempty"`
+	// Einsums are the chain's operations in producer order, each in the
+	// einsum expression syntax.
+	Einsums []string `json:"einsums"`
+}
+
+// MultiLevelSpec selects the three-level derivation.
+type MultiLevelSpec struct {
+	// L1CapBytes is the innermost-buffer capacity gating mapping
+	// feasibility; must be >= 1.
+	L1CapBytes int64 `json:"l1_cap_bytes"`
+}
+
+// OptionsSpec mirrors the result-affecting fields of bound.Options.
+// Worker counts are a server concern (results are worker-agnostic) and
+// deliberately absent.
+type OptionsSpec struct {
+	// ImperfectExtra widens the mapspace with that many imperfect
+	// (non-divisor) tile sizes per rank.
+	ImperfectExtra int `json:"imperfect_extra,omitempty"`
+	// ChargeSpills switches to physical partial-sum accounting.
+	ChargeSpills bool `json:"charge_spills,omitempty"`
+}
+
+// deriveFn runs a derivation to completion under ctx, returning the
+// frontier and the number of mappings evaluated.
+type deriveFn func(ctx context.Context) (*pareto.Curve, int64, error)
+
+// derivation is a validated, canonicalized unit of work: stable identity
+// (key, digest) for caching and single-flight, the in-process derive
+// function, and the shard-job constructor for the spooled path. Identity
+// uses the same canonical encodings as the shard job builders, so a
+// spooled derivation interrupted by one server process is resumed — not
+// restarted — by the next.
+type derivation struct {
+	kind   shard.Kind
+	label  string
+	key    string
+	digest string
+	space  int64
+	run    deriveFn
+	mkJob  func(shard.Plan) (shard.Job, error)
+}
+
+// buildDerivation validates the request's workload and compiles it into
+// a derivation. Errors are client errors (400 invalid_workload).
+func buildDerivation(req *Request, workers int) (*derivation, error) {
+	sources := 0
+	if req.Einsum != "" {
+		sources++
+	}
+	if req.GEMM != nil {
+		sources++
+	}
+	if req.Chain != nil {
+		sources++
+	}
+	if sources != 1 {
+		return nil, fmt.Errorf("exactly one of einsum, gemm, chain required")
+	}
+
+	if req.Chain != nil {
+		if req.MultiLevel != nil {
+			return nil, fmt.Errorf("multilevel applies to single-Einsum workloads, not chains")
+		}
+		if req.Options != (OptionsSpec{}) {
+			return nil, fmt.Errorf("options apply to single-Einsum bound derivations, not chains")
+		}
+		return buildChainDerivation(req.Chain, workers)
+	}
+
+	var e *einsum.Einsum
+	if req.Einsum != "" {
+		var err error
+		e, err = einsum.Parse(req.Einsum)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		g := req.GEMM
+		// einsum.GEMM panics on invalid shapes (it is a literal builder),
+		// so reject them here where they are a client error.
+		if g.M < 1 || g.K < 1 || g.N < 1 {
+			return nil, fmt.Errorf("gemm shape %dx%dx%d, want all extents >= 1", g.M, g.K, g.N)
+		}
+		name := g.Name
+		if name == "" {
+			name = fmt.Sprintf("gemm_%dx%dx%d", g.M, g.K, g.N)
+		}
+		e = einsum.GEMM(name, g.M, g.K, g.N)
+	}
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+
+	if req.MultiLevel != nil {
+		if req.Options != (OptionsSpec{}) {
+			return nil, fmt.Errorf("options apply to the two-level bound, not multilevel derivations")
+		}
+		return buildMultiLevelDerivation(e, req.MultiLevel.L1CapBytes, workers)
+	}
+	return buildBoundDerivation(e, req.Options, workers)
+}
+
+// buildBoundDerivation compiles a two-level bound derivation.
+func buildBoundDerivation(e *einsum.Einsum, spec OptionsSpec, workers int) (*derivation, error) {
+	opts := bound.Options{
+		Workers:        workers,
+		ImperfectExtra: spec.ImperfectExtra,
+		ChargeSpills:   spec.ChargeSpills,
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	d := newDerivation(shard.KindBound, e.String(),
+		shard.Digest(e.Canonical()), shard.Digest(opts.Canonical()))
+	d.space = bound.Space(e, opts)
+	d.run = func(ctx context.Context) (*pareto.Curve, int64, error) {
+		r, err := bound.DeriveRange(ctx, e, opts, 0, d.space)
+		if err != nil {
+			return nil, 0, err
+		}
+		return r.Curve, r.Stats.MappingsEvaluated, nil
+	}
+	d.mkJob = func(plan shard.Plan) (shard.Job, error) {
+		return shard.BoundJob(e, opts, plan)
+	}
+	return d, nil
+}
+
+// buildMultiLevelDerivation compiles a three-level derivation; the
+// served curve is the DRAM frontier (the same projection the sharded
+// partial-frontier format stores).
+func buildMultiLevelDerivation(e *einsum.Einsum, l1CapBytes int64, workers int) (*derivation, error) {
+	if l1CapBytes < 1 {
+		return nil, fmt.Errorf("multilevel l1_cap_bytes %d, want >= 1", l1CapBytes)
+	}
+	opts := multilevel.Options{Workers: workers}
+	space, err := multilevel.Space(e)
+	if err != nil {
+		return nil, err
+	}
+	d := newDerivation(shard.KindMultiLevel,
+		fmt.Sprintf("%s three-level L1=%dB", e.String(), l1CapBytes),
+		shard.Digest(e.Canonical()), shard.Digest(shard.MultiLevelCanonical(l1CapBytes)))
+	d.space = space
+	d.run = func(ctx context.Context) (*pareto.Curve, int64, error) {
+		r, err := multilevel.DeriveRange(ctx, e, l1CapBytes, 0, space, opts)
+		if err != nil {
+			return nil, 0, err
+		}
+		return r.DRAM, r.Mappings, nil
+	}
+	d.mkJob = func(plan shard.Plan) (shard.Job, error) {
+		return shard.MultiLevelJob(e, l1CapBytes, opts, plan)
+	}
+	return d, nil
+}
+
+// buildChainDerivation compiles a tiled-fusion sweep over a chain.
+func buildChainDerivation(spec *ChainSpec, workers int) (*derivation, error) {
+	if len(spec.Einsums) == 0 {
+		return nil, fmt.Errorf("chain needs at least one einsum")
+	}
+	name := spec.Name
+	if name == "" {
+		name = "chain"
+	}
+	es := make([]*einsum.Einsum, len(spec.Einsums))
+	for i, s := range spec.Einsums {
+		e, err := einsum.Parse(s)
+		if err != nil {
+			return nil, fmt.Errorf("chain einsum %d: %w", i, err)
+		}
+		es[i] = e
+	}
+	c, err := fusion.FromEinsums(name, es...)
+	if err != nil {
+		return nil, err
+	}
+	space, err := fusion.TiledFusionSpace(c)
+	if err != nil {
+		return nil, err
+	}
+	d := newDerivation(shard.KindFusionTiled,
+		fmt.Sprintf("%s: %d ops over M=%d", c.Name, len(c.Ops), c.M),
+		shard.Digest(c.Canonical()), shard.Digest("fusion-tiled{}"))
+	d.space = space
+	d.run = func(ctx context.Context) (*pareto.Curve, int64, error) {
+		curve, ts, err := fusion.TiledFusionRange(ctx, c, 0, space, workers)
+		if err != nil {
+			return nil, 0, err
+		}
+		return curve, ts.Evaluated, nil
+	}
+	d.mkJob = func(plan shard.Plan) (shard.Job, error) {
+		return shard.FusionTiledJob(c, plan, workers)
+	}
+	return d, nil
+}
+
+// newDerivation assembles the identity fields: the single-flight/cache
+// key concatenates kind and both canonical digests, and the response
+// digest hashes the key into one stable identifier (also the spool
+// subdirectory name for sharded runs).
+func newDerivation(kind shard.Kind, label, workloadDigest, optionsDigest string) *derivation {
+	key := string(kind) + "|" + workloadDigest + "|" + optionsDigest
+	return &derivation{
+		kind:   kind,
+		label:  label,
+		key:    key,
+		digest: shard.Digest(key),
+	}
+}

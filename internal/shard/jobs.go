@@ -7,6 +7,7 @@ import (
 	"repro/internal/bound"
 	"repro/internal/einsum"
 	"repro/internal/fusion"
+	"repro/internal/multilevel"
 	"repro/internal/pareto"
 )
 
@@ -67,6 +68,52 @@ func FusionTiledJob(c *fusion.Chain, plan Plan, workers int) (Job, error) {
 				return nil, 0, err
 			}
 			return curve, ts.Evaluated, nil
+		},
+	}, nil
+}
+
+// MultiLevelCanonical renders the result-affecting options of a
+// three-level derivation as the stable string hashed into the options
+// digest: the L1 capacity is part of the derivation's identity (it gates
+// the feasibility filter), worker counts are not. Shared by MultiLevelJob
+// and the serve package so the direct and sharded paths agree on digests.
+func MultiLevelCanonical(l1CapBytes int64) string {
+	return fmt.Sprintf("multilevel{l1_cap_bytes=%d}", l1CapBytes)
+}
+
+// MultiLevelJob builds the shard job for a three-level (L1/L2/DRAM) joint
+// bound derivation: plan slice of multilevel.Space(e), derived with
+// multilevel.DeriveRange. The partial frontier stores the DRAM curve —
+// the headline three-level ski slope; partials over a disjoint cover
+// Pareto-union (Merge) to the byte-identical full-range DRAM frontier,
+// because union-of-frontiers equals frontier-of-union. The L2 curve and
+// the joint DRAM/L2 table are in-process refinements (multilevel.Merge
+// recombines those when the caller holds the Results themselves) and are
+// not serialized into the partial format.
+func MultiLevelJob(e *einsum.Einsum, l1CapBytes int64, opts multilevel.Options, plan Plan) (Job, error) {
+	if err := plan.Validate(); err != nil {
+		return Job{}, err
+	}
+	if l1CapBytes < 1 {
+		return Job{}, fmt.Errorf("shard: multilevel job: non-positive L1 capacity %d", l1CapBytes)
+	}
+	space, err := multilevel.Space(e)
+	if err != nil {
+		return Job{}, err
+	}
+	return Job{
+		Kind:           KindMultiLevel,
+		Workload:       fmt.Sprintf("%s three-level L1=%dB", e.String(), l1CapBytes),
+		WorkloadDigest: Digest(e.Canonical()),
+		OptionsDigest:  Digest(MultiLevelCanonical(l1CapBytes)),
+		Items:          space,
+		Plan:           plan,
+		Derive: func(ctx context.Context, lo, hi int64) (*pareto.Curve, int64, error) {
+			r, err := multilevel.DeriveRange(ctx, e, l1CapBytes, lo, hi, opts)
+			if err != nil {
+				return nil, 0, err
+			}
+			return r.DRAM, r.Mappings, nil
 		},
 	}, nil
 }

@@ -49,6 +49,7 @@ type Kind string
 const (
 	KindBound       Kind = "bound"        // bound.DeriveRange over a single Einsum's mapspace
 	KindFusionTiled Kind = "fusion-tiled" // fusion.TiledFusionRange over a chain's FFMT template space
+	KindMultiLevel  Kind = "multilevel"   // multilevel.DeriveRange over the three-split combination space (DRAM frontier)
 )
 
 // Manifest is the partial-frontier file header: everything a merge needs
@@ -104,7 +105,7 @@ func (m *Manifest) Validate() error {
 	if m.Engine == "" {
 		return fmt.Errorf("shard: manifest missing engine version")
 	}
-	if m.Kind != KindBound && m.Kind != KindFusionTiled {
+	if m.Kind != KindBound && m.Kind != KindFusionTiled && m.Kind != KindMultiLevel {
 		return fmt.Errorf("shard: manifest has unknown kind %q", m.Kind)
 	}
 	if m.WorkloadDigest == "" || m.OptionsDigest == "" {

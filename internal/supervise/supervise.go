@@ -309,6 +309,9 @@ func superviseShard(ctx context.Context, plan shard.Plan, mkJob func(shard.Plan)
 			OnCheckpoint:    opts.OnCheckpoint,
 			FS:              opts.FS,
 		})
+		// Whether this attempt's own deadline fired must be read before
+		// cancel() below, which would overwrite actx.Err with Canceled.
+		attemptTimedOut := opts.AttemptTimeout > 0 && actx.Err() != nil && ctx.Err() == nil
 		cancel()
 		st.Attempts++
 		st.Evaluated += rstats.Evaluated
@@ -320,6 +323,16 @@ func superviseShard(ctx context.Context, plan shard.Plan, mkJob func(shard.Plan)
 			// Parent cancellation (signal or whole-run deadline): not a
 			// shard failure — the checkpoint is flushed and resumable.
 			st.Err = ctx.Err()
+			return st
+		}
+		if !attemptTimedOut && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			// A cancellation that is neither the parent's nor this
+			// attempt's timeout came from inside the derivation (e.g. a
+			// server request whose waiters all left). Retrying cannot
+			// succeed — the cause is external intent, not a transient
+			// fault — so surface it immediately instead of burning the
+			// retry budget.
+			st.Err = fmt.Errorf("supervise: shard %s cancelled (non-retryable): %w", plan, err)
 			return st
 		}
 		if errors.Is(err, shard.ErrCorruptPartial) || errors.Is(err, shard.ErrForeignPartial) {

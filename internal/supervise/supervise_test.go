@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -292,5 +293,85 @@ func TestRunValidatesOptions(t *testing.T) {
 	}
 	if _, err := Run(context.Background(), 2, boundMkJob(e, opts), Options{}); err == nil {
 		t.Fatal("accepted an empty shard directory")
+	}
+}
+
+// TestCancelledDeriveNotRetried: a derivation that reports
+// context.Canceled / DeadlineExceeded without the parent context or the
+// attempt timeout being the cause is external intent, not a transient
+// fault — the supervisor must surface it after exactly one attempt
+// instead of burning the whole retry budget on a cancelled run.
+func TestCancelledDeriveNotRetried(t *testing.T) {
+	e, opts, _ := testWorkload(t)
+	for _, cause := range []error{context.Canceled, context.DeadlineExceeded} {
+		mkJob := func(p shard.Plan) (shard.Job, error) {
+			job, err := shard.BoundJob(e, opts, p)
+			if err != nil {
+				return shard.Job{}, err
+			}
+			job.Derive = func(context.Context, int64, int64) (*pareto.Curve, int64, error) {
+				return nil, 0, fmt.Errorf("inner run gave up: %w", cause)
+			}
+			return job, nil
+		}
+		sopts := fastOpts(t.TempDir())
+		sopts.MaxRetries = 5
+		report, err := Run(context.Background(), 2, mkJob, sopts)
+		if err == nil {
+			t.Fatalf("cause=%v: run succeeded with a permanently cancelled derive", cause)
+		}
+		for _, st := range report.Shards {
+			if st.Attempts != 1 {
+				t.Fatalf("cause=%v: shard %s took %d attempts, want 1 (zero retries after cancellation)",
+					cause, st.Plan, st.Attempts)
+			}
+			if !errors.Is(st.Err, cause) {
+				t.Fatalf("cause=%v: shard %s error %v does not wrap the cancellation", cause, st.Plan, st.Err)
+			}
+		}
+	}
+}
+
+// TestAttemptTimeoutStillRetried guards the boundary of the non-retryable
+// rule: an attempt cancelled by its own AttemptTimeout also surfaces as a
+// context error, but that one IS the retry mechanism for slow shards —
+// progress is monotonic across attempts via the checkpoint, so the shard
+// must be retried and converge.
+func TestAttemptTimeoutStillRetried(t *testing.T) {
+	e, opts, want := testWorkload(t)
+	var attempts atomic.Int64
+	mkJob := func(p shard.Plan) (shard.Job, error) {
+		job, err := shard.BoundJob(e, opts, p)
+		if err != nil {
+			return shard.Job{}, err
+		}
+		inner := job.Derive
+		job.Derive = func(ctx context.Context, lo, hi int64) (*pareto.Curve, int64, error) {
+			if attempts.Add(1) == 1 {
+				// First block of the first attempt stalls past the attempt
+				// timeout, honoring its context like a real traversal.
+				<-ctx.Done()
+				return nil, 0, ctx.Err()
+			}
+			return inner(ctx, lo, hi)
+		}
+		return job, nil
+	}
+	sopts := fastOpts(t.TempDir())
+	sopts.Parallel = 1
+	sopts.AttemptTimeout = 50 * time.Millisecond
+	report, err := Run(context.Background(), 2, mkJob, sopts)
+	if err != nil {
+		t.Fatalf("attempt-timeout run did not converge: %v", err)
+	}
+	var total int
+	for _, st := range report.Shards {
+		total += st.Attempts
+	}
+	if total < 3 {
+		t.Fatalf("%d total attempts, want >= 3 (the timed-out attempt must have been retried)", total)
+	}
+	if got := curveBytes(t, report.Curve); got != want {
+		t.Fatal("post-timeout-retry curve differs from single-process derive")
 	}
 }

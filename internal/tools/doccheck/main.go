@@ -33,6 +33,7 @@ var strictDirs = map[string]bool{
 	"internal/bound":     true,
 	"internal/shard":     true,
 	"internal/supervise": true,
+	"internal/serve":     true,
 }
 
 func main() {

@@ -33,17 +33,63 @@
 // end. A cancelled traversal returns the context's error and no curve —
 // the evaluated subset of indices is not otherwise recoverable, so a
 // partial frontier would silently under-approximate.
+//
+// Panics in chunk functions are contained: each worker recovers, stops its
+// peers, and the traversal returns a *PanicError instead of crashing the
+// process — the foundation of the derivation server's per-request panic
+// isolation (internal/serve).
 package traverse
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/pareto"
 )
+
+// PanicError is a panic recovered inside a traversal worker, converted to
+// an ordinary error so one panicking chunk function fails its traversal
+// cleanly instead of crashing the whole process — the containment a
+// long-lived derivation server (internal/serve) needs to turn an evaluator
+// bug into a per-request failure. Value is the recovered panic value and
+// Stack the worker goroutine's stack at recovery time.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+// Error renders the panic value; the stack is kept separate so callers log
+// it rather than ship it to users.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("traverse: worker panic: %v", e.Value)
+}
+
+// Recovered builds a PanicError from a recovered panic value, capturing
+// the current goroutine's stack. Exposed so other layers that run
+// derivation work on their own goroutines (the serve package's flight
+// runner) convert recovered panics to the same error class the traversal
+// engine reports.
+func Recovered(v any) *PanicError {
+	return &PanicError{Value: v, Stack: debug.Stack()}
+}
+
+// runChunk invokes one chunk function with panic containment: a panic in
+// fn becomes a *PanicError return instead of unwinding the worker
+// goroutine (which would crash the process, since goroutine panics cannot
+// be recovered by anyone else).
+func runChunk(fn RangeFunc, lo, hi int64) (n int64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = Recovered(r)
+		}
+	}()
+	return fn(lo, hi), nil
+}
 
 // chunksPerWorker sets the granularity of the dynamic distribution: the
 // index space is cut into about this many chunks per worker, so stragglers
@@ -119,6 +165,12 @@ func WorkerCount(items int64, workers int) int {
 // then returns the context's error with Stats covering the work actually
 // done. Per-worker accumulators are in an undefined partial state after a
 // cancelled traversal and must be discarded.
+//
+// A panic in a chunk function is recovered inside its worker, the other
+// workers are stopped before their next chunk grab, and Partition returns
+// a *PanicError carrying the panic value and stack — a buggy evaluator
+// fails one traversal, never the process. Accumulators must be discarded
+// exactly as after a cancellation.
 func Partition(ctx context.Context, items int64, workerCount int, newWorker func(w int) RangeFunc) (Stats, error) {
 	start := time.Now()
 	if items <= 0 {
@@ -146,14 +198,24 @@ func Partition(ctx context.Context, items int64, workerCount int, newWorker func
 			if hi > items {
 				hi = items
 			}
-			n += fn(lo, hi)
+			cn, cerr := runChunk(fn, lo, hi)
+			if cerr != nil {
+				return Stats{Workers: 1, Items: lo, Evaluated: n, Elapsed: time.Since(start)}, cerr
+			}
+			n += cn
 		}
 		return Stats{Workers: 1, Items: items, Evaluated: n, Elapsed: time.Since(start)}, nil
 	}
 
+	// pctx lets a panicking worker stop its peers before their next chunk
+	// grab, exactly like an external cancellation.
+	pctx, pcancel := context.WithCancel(ctx)
+	defer pcancel()
+
 	var next atomic.Int64
 	counts := make([]int64, w)
 	grabbed := make([]int64, w)
+	panics := make([]error, w)
 	var wg sync.WaitGroup
 	for i := 0; i < w; i++ {
 		wg.Add(1)
@@ -161,7 +223,7 @@ func Partition(ctx context.Context, items int64, workerCount int, newWorker func
 			defer wg.Done()
 			fn := newWorker(i)
 			var n, items2 int64
-			for ctx.Err() == nil {
+			for pctx.Err() == nil {
 				lo := next.Add(chunk) - chunk
 				if lo >= items {
 					break
@@ -170,7 +232,13 @@ func Partition(ctx context.Context, items int64, workerCount int, newWorker func
 				if hi > items {
 					hi = items
 				}
-				n += fn(lo, hi)
+				cn, cerr := runChunk(fn, lo, hi)
+				if cerr != nil {
+					panics[i] = cerr
+					pcancel()
+					break
+				}
+				n += cn
 				items2 += hi - lo
 			}
 			counts[i] = n
@@ -185,6 +253,13 @@ func Partition(ctx context.Context, items int64, workerCount int, newWorker func
 		visited += grabbed[i]
 	}
 	stats := Stats{Workers: w, Items: visited, Evaluated: total, Elapsed: time.Since(start)}
+	for _, perr := range panics {
+		if perr != nil {
+			// A worker panic outranks the cancellation it triggered: the
+			// caller needs the root cause, not the induced ctx error.
+			return stats, perr
+		}
+	}
 	if visited == items {
 		// Every index was processed before the workers saw the
 		// cancellation: the traversal is complete, so report success —
