@@ -13,7 +13,7 @@ RACE_PKGS := ./internal/bound ./internal/pareto ./internal/fusion \
 # already shortened to milliseconds.
 ROBUST_PKGS := ./internal/shard ./internal/supervise ./internal/traverse
 
-.PHONY: all vet build test race robust serve docs ci
+.PHONY: all vet build test race robust serve bench-json docs ci
 
 all: ci
 
@@ -46,5 +46,16 @@ robust:
 # drain, and kill-and-resume through the spool directory.
 serve:
 	go test -race -count=1 ./internal/serve
+
+# Machine-readable benchmark artifact: the paper-figure benchmark suite
+# (root package) parsed into BENCH_PR6.json by internal/tools/benchjson.
+# BENCHTIME=1x (the default) runs each benchmark once — a smoke-level
+# artifact for CI; raise it (e.g. BENCHTIME=2s) for stable numbers.
+BENCHTIME ?= 1x
+BENCH ?= .
+
+bench-json:
+	go test -run '^$$' -bench '$(BENCH)' -benchtime $(BENCHTIME) -benchmem . \
+		| go run ./internal/tools/benchjson -out BENCH_PR6.json
 
 ci: vet build test race robust serve docs

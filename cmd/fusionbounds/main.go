@@ -7,9 +7,11 @@
 //
 //	fusionbounds -m 32768 -ops 4096x16384,16384x4096 -ascii
 //
-// Sharded derivation of the tiled-fusion sweep (see docs/shard-format.md):
-// each fleet member derives one slice of the FFMT template space into a
-// resumable partial-frontier file, merged back with shardmerge:
+// Sharded derivation (see docs/shard-format.md): each fleet member
+// derives one slice of the selected sweep — the FFMT template space
+// (-path tiled, the default) or the 2^(n-1) segmentation-mask space
+// (-path segmentation) — into a resumable partial-frontier file, merged
+// back with shardmerge:
 //
 //	fusionbounds -m 32768 -ops 4096x16384,16384x4096 -shard 1/4 -out part1.json
 //	...                                              -shard 4/4 -out part4.json
@@ -20,6 +22,7 @@
 // docs/shard-format.md, "Failure model"):
 //
 //	fusionbounds -m 32768 -ops 4096x16384,16384x4096 -supervise 4 -shard-dir parts/ -out tiled.json
+//	fusionbounds -m 32768 -ops 4096x16384,16384x4096 -path segmentation -supervise 4 -shard-dir segparts/ -out best.json
 package main
 
 import (
@@ -35,6 +38,7 @@ import (
 	"time"
 
 	orojenesis "repro"
+	"repro/internal/bound"
 	"repro/internal/cliutil"
 	"repro/internal/shard"
 	"repro/internal/supervise"
@@ -52,10 +56,11 @@ func main() {
 	reductions := flag.Bool("reductions", true, "print tiled-vs-unfused reduction factors")
 	workers := flag.Int("workers", 0, "parallel evaluation goroutines (0 = GOMAXPROCS)")
 	stats := flag.Bool("stats", false, "print per-phase traversal statistics")
-	shardSpec := flag.String("shard", "", "derive only shard k/N of the tiled-fusion template sweep into -out (e.g. 1/4); resumes an interrupted run from the same file")
+	path := flag.String("path", "tiled", "sharded derivation path: tiled (FFMT template sweep) or segmentation (2^(n-1) cut study)")
+	shardSpec := flag.String("shard", "", "derive only shard k/N of the -path sweep into -out (e.g. 1/4); resumes an interrupted run from the same file")
 	out := flag.String("out", "", "partial-frontier file for -shard (checkpoint target and final artifact), or merged tiled-fusion curve JSON for -supervise")
 	checkpoint := flag.Int64("checkpoint", 0, "template indices per checkpoint flush in -shard/-supervise mode (0 = ~1/32 of each slice)")
-	superviseN := flag.Int("supervise", 0, "derive all N shards of the tiled-fusion sweep under one supervisor (retry, quarantine, resumable interrupt) and merge the result")
+	superviseN := flag.Int("supervise", 0, "derive all N shards of the -path sweep under one supervisor (retry, quarantine, resumable interrupt) and merge the result")
 	shardDir := flag.String("shard-dir", "", "directory for per-shard checkpoint files in -supervise mode (required; reused on resume)")
 	retries := flag.Int("retries", 0, "per-shard retry budget in -supervise mode (0 = default, negative = none)")
 	allowPartial := flag.Bool("allow-partial", false, "in -supervise mode, emit an annotated degraded curve when shards fail permanently instead of refusing")
@@ -77,12 +82,16 @@ func main() {
 		log.Fatal(err)
 	}
 
-	if *superviseN > 0 {
-		runSupervised(chain, *superviseN, *shardDir, *out, *checkpoint, *workers, *retries, *allowPartial, *stats)
-		return
-	}
-	if *shardSpec != "" {
-		runShard(chain, *shardSpec, *out, *checkpoint, *workers, *stats)
+	if *superviseN > 0 || *shardSpec != "" {
+		mkJob, err := jobMaker(chain, *path, *workers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *superviseN > 0 {
+			runSupervised(chain, mkJob, *path, *superviseN, *shardDir, *out, *checkpoint, *retries, *allowPartial, *stats)
+			return
+		}
+		runShard(chain, mkJob, *shardSpec, *out, *checkpoint, *stats)
 		return
 	}
 	a, err := orojenesis.AnalyzeChain(chain, opts)
@@ -131,11 +140,32 @@ func main() {
 	}
 }
 
-// runShard derives one slice of the chain's FFMT template space into a
+// jobMaker returns the shard-job constructor for the selected derivation
+// path. The segmentation path derives each op's standalone ski-slope
+// curve up front: those curves are inputs of the study and part of the
+// job's workload digest, so every shard of a fleet — and every resume —
+// must be built from the same deterministic set.
+func jobMaker(chain *orojenesis.Chain, path string, workers int) (func(shard.Plan) (shard.Job, error), error) {
+	switch path {
+	case "tiled":
+		return func(p shard.Plan) (shard.Job, error) {
+			return shard.FusionTiledJob(chain, p, workers)
+		}, nil
+	case "segmentation":
+		perOp := chain.PerOpCurves(bound.Options{Workers: workers})
+		return func(p shard.Plan) (shard.Job, error) {
+			return shard.SegmentationJob(chain, perOp, p, workers)
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown -path %q (want tiled or segmentation)", path)
+	}
+}
+
+// runShard derives one slice of the selected sweep's index space into a
 // resumable partial-frontier file (the -shard k/N -out FILE mode).
 // SIGINT/SIGTERM flush a final checkpoint and exit; rerunning the same
 // command resumes.
-func runShard(chain *orojenesis.Chain, spec, out string, checkpoint int64, workers int, stats bool) {
+func runShard(chain *orojenesis.Chain, mkJob func(shard.Plan) (shard.Job, error), spec, out string, checkpoint int64, stats bool) {
 	if out == "" {
 		log.Fatal("-shard requires -out FILE for the partial frontier")
 	}
@@ -143,7 +173,7 @@ func runShard(chain *orojenesis.Chain, spec, out string, checkpoint int64, worke
 	if err != nil {
 		log.Fatal(err)
 	}
-	job, err := shard.FusionTiledJob(chain, plan, workers)
+	job, err := mkJob(plan)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -170,18 +200,18 @@ func runShard(chain *orojenesis.Chain, spec, out string, checkpoint int64, worke
 	if rs.Resumed {
 		fmt.Printf("resumed shard %s at index %d\n", plan, rs.ResumedFrom)
 	}
-	fmt.Printf("shard %s: template indices [%d, %d) of %d, %d candidates evaluated in %v\n",
+	fmt.Printf("shard %s: indices [%d, %d) of %d, %d candidates evaluated in %v\n",
 		plan, lo, hi, job.Items, rs.Evaluated, rs.Elapsed)
 	fmt.Printf("partial frontier: %d points -> %s\n", p.Curve.Len(), out)
 }
 
-// runSupervised derives all N shards of the chain's FFMT template sweep
-// under one supervisor (the -supervise N -shard-dir DIR mode): retried
-// with backoff on transient failures, corrupt checkpoints quarantined and
-// re-derived, SIGINT/SIGTERM resumable by rerunning. The merged
-// tiled-fusion curve — exact, or degraded under -allow-partial — is
-// summarized and optionally written to -out.
-func runSupervised(chain *orojenesis.Chain, n int, dir, out string, checkpoint int64, workers, retries int, allowPartial, stats bool) {
+// runSupervised derives all N shards of the selected sweep under one
+// supervisor (the -supervise N -shard-dir DIR mode): retried with backoff
+// on transient failures, corrupt checkpoints quarantined and re-derived,
+// SIGINT/SIGTERM resumable by rerunning. The merged curve — exact, or
+// degraded under -allow-partial — is summarized and optionally written
+// to -out.
+func runSupervised(chain *orojenesis.Chain, mkJob func(shard.Plan) (shard.Job, error), path string, n int, dir, out string, checkpoint int64, retries int, allowPartial, stats bool) {
 	if dir == "" {
 		log.Fatal("-supervise requires -shard-dir DIR for the per-shard checkpoint files")
 	}
@@ -199,13 +229,11 @@ func runSupervised(chain *orojenesis.Chain, n int, dir, out string, checkpoint i
 	}
 	if stats {
 		sopts.OnCheckpoint = func(m shard.Manifest) {
-			fmt.Printf("checkpoint: shard %d/%d at %d / %d template indices\n",
+			fmt.Printf("checkpoint: shard %d/%d at %d / %d indices\n",
 				m.ShardIndex+1, m.ShardCount, m.CompletedThrough-m.RangeLo, m.RangeHi-m.RangeLo)
 		}
 	}
-	report, err := supervise.Run(ctx, n, func(p shard.Plan) (shard.Job, error) {
-		return shard.FusionTiledJob(chain, p, workers)
-	}, sopts)
+	report, err := supervise.Run(ctx, n, mkJob, sopts)
 	if report != nil && report.Interrupted {
 		log.Printf("interrupted; shard checkpoints flushed under %s — rerun the same command to resume", dir)
 		os.Exit(130)
@@ -231,7 +259,11 @@ func runSupervised(chain *orojenesis.Chain, n int, dir, out string, checkpoint i
 		fmt.Printf("DEGRADED curve: covers %d of %d indices (%.2f%%); missing shards %v, incomplete %v\n",
 			d.CoveredIndices, d.Items, 100*d.CoveredFraction, d.MissingShards, d.IncompleteShards)
 	}
-	series := orojenesis.Series{Name: "tiled-fusion", Curve: curve}
+	name := "tiled-fusion"
+	if path == "segmentation" {
+		name = "best-segmentation"
+	}
+	series := orojenesis.Series{Name: name, Curve: curve}
 	fmt.Print(orojenesis.SummaryTable([]int64{1 << 20, 10 << 20, 256 << 20}, series))
 
 	if out != "" {

@@ -1,16 +1,24 @@
 // Command orojenesisd serves data-movement bound derivations over HTTP:
 // a long-running counterpart to the orojenesis CLI for fleets that probe
-// many workloads against one warm process. POST a workload spec to
-// /v1/curve and get the Pareto frontier back as JSON — byte-identical to
-// the in-process derivation — with admission control, per-request
-// deadlines, single-flight result caching, panic containment, and
-// graceful drain (SIGTERM checkpoints in-flight sharded derivations into
-// the spool directory; a restarted server resumes them).
+// many workloads against one warm process. POST a workload spec — a
+// single Einsum or GEMM (two- or three-level bound), a fused chain, or a
+// chain segmentation study — to /v1/curve and get the Pareto frontier
+// back as JSON, byte-identical to the in-process derivation, with
+// admission control, per-request deadlines, single-flight result
+// caching, panic containment, and graceful drain (SIGTERM checkpoints
+// in-flight sharded derivations into the spool directory; a restarted
+// server resumes them). A sharded request with "allow_partial" that
+// loses shards permanently answers 206 Partial Content with a degraded
+// envelope (covered_fraction, missing_shards) instead of an error, and
+// keeps its spool as the resume point.
 //
 // Example:
 //
 //	orojenesisd -addr :8080 -spool /var/lib/orojenesisd &
 //	curl -s localhost:8080/v1/curve -d '{"gemm":{"m":512,"k":512,"n":512}}'
+//	curl -s localhost:8080/v1/curve -d '{"segmentation":{"einsums":[
+//	  "B[m,n] = A[m,k] * W[k,n] {M=64,K=8,N=16}",
+//	  "C[m,n] = B[m,k] * V[k,n] {M=64,K=16,N=8}"]}}'
 //
 // See docs/server-api.md for the full API.
 package main

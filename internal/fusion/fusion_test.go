@@ -1,6 +1,9 @@
 package fusion
 
 import (
+	"context"
+	"errors"
+	"reflect"
 	"testing"
 
 	"repro/internal/bound"
@@ -159,27 +162,95 @@ func TestUntiledFusion(t *testing.T) {
 	}
 }
 
-func TestAllSegmentations(t *testing.T) {
-	segs := AllSegmentations(3)
-	if len(segs) != 4 {
-		t.Fatalf("AllSegmentations(3) = %d entries, want 4", len(segs))
+func TestSegmentationAt(t *testing.T) {
+	c := MustChain("three", 16,
+		GEMMOp("g0", 16, 4, 16),
+		GEMMOp("g1", 16, 16, 8),
+		GEMMOp("g2", 16, 8, 4),
+	)
+	space, err := SegmentationSpace(c)
+	if err != nil {
+		t.Fatal(err)
 	}
-	// Check spans are contiguous covers.
-	for _, s := range segs {
+	if space != 4 {
+		t.Fatalf("SegmentationSpace(3 ops) = %d, want 4", space)
+	}
+	// Check spans are contiguous covers and every mask is distinct.
+	seen := map[string]bool{}
+	for mask := int64(0); mask < space; mask++ {
+		s := SegmentationAt(3, mask)
 		spans := s.Segments(3)
 		lo := 0
 		for _, sp := range spans {
 			if sp[0] != lo || sp[1] <= sp[0] {
-				t.Fatalf("bad spans %v", spans)
+				t.Fatalf("mask %d: bad spans %v", mask, spans)
 			}
 			lo = sp[1]
 		}
 		if lo != 3 {
-			t.Fatalf("spans %v do not cover the chain", spans)
+			t.Fatalf("mask %d: spans %v do not cover the chain", mask, spans)
+		}
+		label := s.render(3)
+		if seen[label] {
+			t.Fatalf("mask %d: duplicate segmentation %s", mask, label)
+		}
+		seen[label] = true
+	}
+	if s := SegmentationAt(1, 0); len(s.Cuts) != 0 {
+		t.Fatalf("SegmentationAt(1, 0) = %+v, want the trivial segmentation", s)
+	}
+}
+
+func TestSegmentationRangeUnionMatchesBest(t *testing.T) {
+	c := MustChain("three", 16,
+		GEMMOp("g0", 16, 4, 16),
+		GEMMOp("g1", 16, 16, 8),
+		GEMMOp("g2", 16, 8, 4),
+	)
+	perOp := c.PerOpCurves(bound.Options{Workers: 1})
+	best, _, err := BestSegmentationStats(c, perOp, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space, err := SegmentationSpace(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Any disjoint cover of the mask space merges back to the best curve.
+	for _, cut := range []int64{1, 2, 3} {
+		loCurve, _, err := SegmentationRange(context.Background(), c, perOp, 0, cut, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hiCurve, _, err := SegmentationRange(context.Background(), c, perOp, cut, space, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		merged := pareto.Union(loCurve, hiCurve)
+		merged.AlgoMinBytes = best.AlgoMinBytes
+		merged.TotalOperandBytes = best.TotalOperandBytes
+		if !reflect.DeepEqual(merged.Points(), best.Points()) {
+			t.Fatalf("cut %d: union %v != best %v", cut, merged.Points(), best.Points())
 		}
 	}
-	if len(AllSegmentations(1)) != 1 {
-		t.Fatal("AllSegmentations(1) should have exactly the trivial segmentation")
+	// Out-of-range slices are rejected.
+	if _, _, err := SegmentationRange(context.Background(), c, perOp, 0, space+1, 1); err == nil {
+		t.Fatal("SegmentationRange beyond the space should fail")
+	}
+}
+
+func TestSegmentationStudyContextCancel(t *testing.T) {
+	c := MustChain("four", 16,
+		GEMMOp("g0", 16, 4, 16),
+		GEMMOp("g1", 16, 16, 8),
+		GEMMOp("g2", 16, 8, 8),
+		GEMMOp("g3", 16, 8, 4),
+	)
+	perOp := c.PerOpCurves(bound.Options{Workers: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := SegmentationStudyContext(ctx, c, perOp, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled study returned %v, want context.Canceled", err)
 	}
 }
 

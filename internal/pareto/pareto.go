@@ -32,6 +32,13 @@ type Curve struct {
 	// was derived for; they normalize the Gap 0 and Gap 1 queries.
 	AlgoMinBytes      int64
 	TotalOperandBytes int64
+
+	// Degraded marks a curve derived from an incomplete sweep (a degraded
+	// shard merge): the frontier is an over-approximation — real optima
+	// from the missing share may lie below it. The flag is sticky through
+	// the curve algebra: any composition with a degraded input is itself
+	// degraded.
+	Degraded bool
 }
 
 // Points returns the frontier points in ascending buffer order. The
@@ -139,6 +146,28 @@ func (c *Curve) Table() string {
 			p.BufferBytes, p.AccessBytes,
 			shape.FormatBytes(p.BufferBytes), shape.FormatBytes(p.AccessBytes))
 	}
+	return b.String()
+}
+
+// Canonical renders the curve as a deterministic one-line encoding —
+// annotations, degraded flag, and every frontier point — for use in
+// content digests (e.g. a shard manifest whose workload includes input
+// curves). Two curves have equal encodings iff they are semantically
+// identical.
+func (c *Curve) Canonical() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "curve{algo=%d tot=%d", c.AlgoMinBytes, c.TotalOperandBytes)
+	if c.Degraded {
+		b.WriteString(" degraded")
+	}
+	b.WriteString(" pts=[")
+	for i, p := range c.pts {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d:%d", p.BufferBytes, p.AccessBytes)
+	}
+	b.WriteString("]}")
 	return b.String()
 }
 
@@ -250,6 +279,7 @@ func Sum(curves ...*Curve) *Curve {
 	for _, c := range curves {
 		out.AlgoMinBytes += c.AlgoMinBytes
 		out.TotalOperandBytes += c.TotalOperandBytes
+		out.Degraded = out.Degraded || c.Degraded
 	}
 	return out
 }
@@ -270,12 +300,14 @@ func Union(curves ...*Curve) *Curve {
 		}
 	}
 	pts := make([]Point, 0, total)
+	degraded := false
 	for _, c := range curves {
 		if c != nil {
 			pts = append(pts, c.pts...)
+			degraded = degraded || c.Degraded
 		}
 	}
-	return &Curve{pts: frontier(pts)}
+	return &Curve{pts: frontier(pts), Degraded: degraded}
 }
 
 // MergeMin composes alternatives (e.g. different segmentation strategies):
@@ -301,6 +333,9 @@ func MergeMin(curves ...*Curve) *Curve {
 	out := FromPoints(pts)
 	out.AlgoMinBytes = curves[0].AlgoMinBytes
 	out.TotalOperandBytes = curves[0].TotalOperandBytes
+	for _, c := range curves {
+		out.Degraded = out.Degraded || c.Degraded
+	}
 	return out
 }
 
@@ -312,6 +347,7 @@ func (c *Curve) ScaleAccesses(k int64) *Curve {
 		pts:               make([]Point, len(c.pts)),
 		AlgoMinBytes:      c.AlgoMinBytes * k,
 		TotalOperandBytes: c.TotalOperandBytes * k,
+		Degraded:          c.Degraded,
 	}
 	for i, p := range c.pts {
 		out.pts[i] = Point{BufferBytes: p.BufferBytes, AccessBytes: p.AccessBytes * k}
@@ -327,6 +363,7 @@ func (c *Curve) ShiftBuffer(delta int64) *Curve {
 		pts:               make([]Point, len(c.pts)),
 		AlgoMinBytes:      c.AlgoMinBytes,
 		TotalOperandBytes: c.TotalOperandBytes,
+		Degraded:          c.Degraded,
 	}
 	for i, p := range c.pts {
 		out.pts[i] = Point{BufferBytes: p.BufferBytes + delta, AccessBytes: p.AccessBytes}
@@ -341,6 +378,7 @@ func (c *Curve) AddAccesses(delta int64) *Curve {
 		pts:               make([]Point, len(c.pts)),
 		AlgoMinBytes:      c.AlgoMinBytes,
 		TotalOperandBytes: c.TotalOperandBytes,
+		Degraded:          c.Degraded,
 	}
 	for i, p := range c.pts {
 		out.pts[i] = Point{BufferBytes: p.BufferBytes, AccessBytes: p.AccessBytes + delta}

@@ -16,14 +16,18 @@ import (
 type curveJSON struct {
 	AlgoMinBytes      int64   `json:"algo_min_bytes,omitempty"`
 	TotalOperandBytes int64   `json:"total_operand_bytes,omitempty"`
+	Degraded          bool    `json:"degraded,omitempty"`
 	Points            []Point `json:"points"`
 }
 
-// MarshalJSON encodes the curve with its annotations.
+// MarshalJSON encodes the curve with its annotations. Complete curves
+// serialize exactly as before the degraded flag existed (omitempty), so
+// byte-identity checks across shard merges are unaffected.
 func (c *Curve) MarshalJSON() ([]byte, error) {
 	return json.Marshal(curveJSON{
 		AlgoMinBytes:      c.AlgoMinBytes,
 		TotalOperandBytes: c.TotalOperandBytes,
+		Degraded:          c.Degraded,
 		Points:            c.pts,
 	})
 }
@@ -63,6 +67,7 @@ func (c *Curve) UnmarshalJSON(data []byte) error {
 	c.pts = frontier(cj.Points)
 	c.AlgoMinBytes = cj.AlgoMinBytes
 	c.TotalOperandBytes = cj.TotalOperandBytes
+	c.Degraded = cj.Degraded
 	return nil
 }
 

@@ -5,17 +5,15 @@ import (
 	"context"
 	"sync"
 	"time"
-
-	"repro/internal/pareto"
 )
 
-// result is a finished derivation: the frontier plus the work it cost.
-// Cached responses replay the original evaluated count and elapsed time,
-// so clients can still see what the derivation cost when it actually ran.
+// result is a finished derivation: everything the derive function
+// produced plus the wall time it cost. Cached responses replay the
+// original evaluated count and elapsed time, so clients can still see
+// what the derivation cost when it actually ran.
 type result struct {
-	curve     *pareto.Curve
-	evaluated int64
-	elapsed   time.Duration
+	deriveOut
+	elapsed time.Duration
 }
 
 // flight is one in-progress derivation that any number of identical
@@ -121,12 +119,15 @@ func (s *store) leave(f *flight) {
 // waiters are released, the flight leaves the table, and — in the same
 // critical section — a successful result enters the cache. Failed
 // derivations are never cached; the next identical request retries.
+// Degraded merges are also never cached: their spool survives, so the
+// next identical request resumes the missing slices instead of replaying
+// an incomplete answer.
 func (s *store) finish(f *flight, res result, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	f.res, f.err = res, err
 	f.finished = true
-	if err == nil {
+	if err == nil && res.degraded == nil {
 		s.putLocked(f.key, res)
 	}
 	delete(s.flights, f.key)

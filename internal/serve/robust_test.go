@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -15,7 +16,6 @@ import (
 
 	"repro/internal/bound"
 	"repro/internal/einsum"
-	"repro/internal/pareto"
 	"repro/internal/shard"
 )
 
@@ -27,12 +27,12 @@ func blockOn(marker string, gate <-chan struct{}) func(*derivation, deriveFn) de
 		if !strings.Contains(d.label, marker) {
 			return fn
 		}
-		return func(ctx context.Context) (*pareto.Curve, int64, error) {
+		return func(ctx context.Context) (deriveOut, error) {
 			select {
 			case <-gate:
 				return fn(ctx)
 			case <-ctx.Done():
-				return nil, 0, ctx.Err()
+				return deriveOut{}, ctx.Err()
 			}
 		}
 	}
@@ -49,13 +49,13 @@ func TestDeadlineExpiryMidTraversal(t *testing.T) {
 			if !strings.Contains(d.label, "M=31") {
 				return fn
 			}
-			return func(ctx context.Context) (*pareto.Curve, int64, error) {
+			return func(ctx context.Context) (deriveOut, error) {
 				select {
 				case <-gate:
 					return fn(ctx)
 				case <-ctx.Done():
 					cancelled.Store(true)
-					return nil, 0, ctx.Err()
+					return deriveOut{}, ctx.Err()
 				}
 			}
 		},
@@ -141,8 +141,15 @@ func TestSaturationSheds429(t *testing.T) {
 	if ei.Code != "saturated" {
 		t.Fatalf("overflow code %q, want saturated", ei.Code)
 	}
-	if resp.Header.Get("Retry-After") == "" {
+	// QueueWait is sub-second (100ms): a truncating Retry-After would
+	// say "0" — retry immediately — and amplify the stampede the 429 is
+	// shedding. The header must round up to at least one whole second.
+	ra := resp.Header.Get("Retry-After")
+	if ra == "" {
 		t.Fatal("429 without Retry-After")
+	}
+	if n, err := strconv.Atoi(ra); err != nil || n < 1 {
+		t.Fatalf("Retry-After %q for a sub-second queue wait, want an integer >= 1", ra)
 	}
 
 	// The queued derivation exhausts its wait budget.
@@ -178,7 +185,7 @@ func TestPanicContainedToStructured500(t *testing.T) {
 			if !strings.Contains(d.label, "M=37") {
 				return fn
 			}
-			return func(ctx context.Context) (*pareto.Curve, int64, error) {
+			return func(ctx context.Context) (deriveOut, error) {
 				panic("evaluator overflow (injected)")
 			}
 		},

@@ -114,6 +114,11 @@ type Config struct {
 	// before it runs — the test seam for injecting slow, panicking, or
 	// counting derivations without touching the engine.
 	deriveWrap func(d *derivation, fn deriveFn) deriveFn
+
+	// shardFS, when non-nil, is the filesystem handed to spooled shard
+	// runs — the test seam for injecting persistent write faults so the
+	// degraded (allow_partial) path is reachable in tests.
+	shardFS shard.FS
 }
 
 // Server is the derivation service. Construct with New, mount Handler on
@@ -248,6 +253,21 @@ type CurveResponse struct {
 	Points int `json:"points"`
 	// Curve is the Pareto frontier in the pareto package's JSON schema.
 	Curve *pareto.Curve `json:"curve"`
+	// Segments are the per-segmentation curves of an in-process
+	// segmentation study (absent for other kinds and for sharded runs,
+	// which return only the merged best curve).
+	Segments []SegmentResult `json:"segments,omitempty"`
+
+	// Degraded marks a 206 envelope: an allow_partial request whose shard
+	// fleet failed partway. The remaining fields quantify the coverage —
+	// the same annotation shard.MergeDegraded (and the shardmerge CLI's
+	// -allow-partial envelope) reports.
+	Degraded         bool    `json:"degraded,omitempty"`
+	Items            int64   `json:"items,omitempty"`
+	CoveredIndices   int64   `json:"covered_indices,omitempty"`
+	CoveredFraction  float64 `json:"covered_fraction,omitempty"`
+	MissingShards    []int   `json:"missing_shards,omitempty"`
+	IncompleteShards []int   `json:"incomplete_shards,omitempty"`
 }
 
 // ErrorInfo is the machine-readable error payload.
@@ -275,9 +295,12 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, code, msg string, retryAfter time.Duration) {
 	if retryAfter > 0 {
+		// Round UP to whole seconds: truncation would turn any sub-second
+		// backoff into "Retry-After: 0" — an instruction to retry
+		// immediately, amplifying the very stampede the 429 sheds.
 		secs := int64(retryAfter / time.Second)
-		if secs < 1 {
-			secs = 1
+		if retryAfter%time.Second != 0 {
+			secs++
 		}
 		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 	}
@@ -321,10 +344,23 @@ func (s *Server) handleCurve(w http.ResponseWriter, r *http.Request) {
 			"sharded derivation disabled: server has no spool directory", 0)
 		return
 	}
+	if req.AllowPartial && req.Shards <= 1 {
+		writeError(w, http.StatusBadRequest, "invalid_request",
+			"allow_partial applies to sharded derivations (shards > 1)", 0)
+		return
+	}
 	d, err := buildDerivation(&req, s.cfg.Workers)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "invalid_workload", err.Error(), 0)
 		return
+	}
+	if req.AllowPartial {
+		// A flight that may publish a degraded result must never be
+		// shared with (or cached for) a request that did not consent to
+		// one, so partial-tolerant requests fly under their own key. The
+		// digest — and with it the spool directory — is unchanged: both
+		// populations resume the same checkpointed partials.
+		d.key += "|allow_partial"
 	}
 
 	timeout := s.cfg.DefaultTimeout
@@ -362,7 +398,7 @@ func (s *Server) handleCurve(w http.ResponseWriter, r *http.Request) {
 		}
 		s.wg.Add(1)
 		s.flightMu.Unlock()
-		go s.runFlight(f, d, req.Shards)
+		go s.runFlight(f, d, req.Shards, req.AllowPartial)
 	}
 
 	select {
@@ -386,9 +422,11 @@ func (s *Server) handleCurve(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// respond writes the 200 envelope.
+// respond writes the success envelope: 200 for complete results, 206
+// (partial content) for degraded merges, whose coverage annotation rides
+// along so a client can never mistake a partial frontier for an exact one.
 func (s *Server) respond(w http.ResponseWriter, d *derivation, req *Request, res result, cached bool) {
-	writeJSON(w, http.StatusOK, CurveResponse{
+	resp := CurveResponse{
 		Workload:  d.label,
 		Kind:      string(d.kind),
 		Digest:    d.digest,
@@ -398,7 +436,19 @@ func (s *Server) respond(w http.ResponseWriter, d *derivation, req *Request, res
 		ElapsedMS: res.elapsed.Milliseconds(),
 		Points:    res.curve.Len(),
 		Curve:     res.curve,
-	})
+		Segments:  res.segments,
+	}
+	status := http.StatusOK
+	if res.degraded != nil {
+		status = http.StatusPartialContent
+		resp.Degraded = true
+		resp.Items = res.degraded.Items
+		resp.CoveredIndices = res.degraded.CoveredIndices
+		resp.CoveredFraction = res.degraded.CoveredFraction
+		resp.MissingShards = res.degraded.MissingShards
+		resp.IncompleteShards = res.degraded.IncompleteShards
+	}
+	writeJSON(w, status, resp)
 }
 
 // writeDeriveError maps a flight failure onto the error taxonomy.
@@ -427,7 +477,7 @@ func (s *Server) writeDeriveError(w http.ResponseWriter, err error) {
 // panic containment, and publication. It runs under the flight context —
 // a child of the server lifetime, cancelled early only when every waiter
 // has left or the server shuts down.
-func (s *Server) runFlight(f *flight, d *derivation, shards int) {
+func (s *Server) runFlight(f *flight, d *derivation, shards int, allowPartial bool) {
 	defer s.wg.Done()
 	defer f.cancel()
 	start := time.Now()
@@ -445,12 +495,17 @@ func (s *Server) runFlight(f *flight, d *derivation, shards int) {
 		defer s.adm.release()
 		fn := d.run
 		if shards > 1 {
-			fn = s.spooledDerive(d, shards)
+			fn = s.spooledDerive(d, shards, allowPartial)
 		}
 		if s.cfg.deriveWrap != nil {
 			fn = s.cfg.deriveWrap(d, fn)
 		}
-		res.curve, res.evaluated, err = fn(f.ctx)
+		if d.prepare != nil {
+			if err = d.prepare(f.ctx); err != nil {
+				return
+			}
+		}
+		res.deriveOut, err = fn(f.ctx)
 	}()
 	res.elapsed = time.Since(start)
 	var pe *traverse.PanicError
@@ -475,34 +530,49 @@ func (s *Server) runFlight(f *flight, d *derivation, shards int) {
 // fleet in the spool directory. The subdirectory is the derivation
 // digest, so an interrupted run's partial frontiers are found — and
 // resumed, not recomputed — by any later server process given the same
-// spool. On success the subdirectory is removed; on cancellation it is
-// kept as the resume point.
-func (s *Server) spooledDerive(d *derivation, shards int) deriveFn {
-	return func(ctx context.Context) (*pareto.Curve, int64, error) {
+// spool. On exact success the subdirectory is removed; on cancellation
+// AND on a degraded (allow_partial) merge it is kept as the resume point,
+// so a later identical request completes the missing slices instead of
+// starting over.
+func (s *Server) spooledDerive(d *derivation, shards int, allowPartial bool) deriveFn {
+	return func(ctx context.Context) (deriveOut, error) {
+		var out deriveOut
 		dir := filepath.Join(s.cfg.SpoolDir, fmt.Sprintf("%.16s", d.digest))
 		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return nil, 0, err
+			return out, err
 		}
 		report, err := supervise.Run(ctx, shards, d.mkJob, supervise.Options{
 			Dir:             dir,
 			CheckpointEvery: s.cfg.CheckpointEvery,
 			MaxRetries:      s.cfg.ShardRetries,
+			AllowPartial:    allowPartial,
+			FS:              s.cfg.shardFS,
 			Logf:            s.cfg.Logf,
 			OnCheckpoint:    s.cfg.OnCheckpoint,
 		})
-		var evaluated int64
 		if report != nil {
 			for _, st := range report.Shards {
-				evaluated += st.Evaluated
+				out.evaluated += st.Evaluated
 			}
 		}
 		if err != nil {
-			return nil, evaluated, err
+			return out, err
+		}
+		if report.Degraded != nil && !report.Degraded.Complete() {
+			out.curve = report.Degraded.Curve
+			out.degraded = report.Degraded
+			return out, nil
+		}
+		out.curve = report.Curve
+		if report.Degraded != nil {
+			// AllowPartial was requested but every index was covered
+			// anyway: the merge is exact, so serve it as one.
+			out.curve = report.Degraded.Curve
 		}
 		if rmErr := os.RemoveAll(dir); rmErr != nil {
 			s.logf("serve: cleaning spool %s: %v", dir, rmErr)
 		}
-		return report.Curve, evaluated, nil
+		return out, nil
 	}
 }
 

@@ -17,7 +17,6 @@ import (
 	"repro/internal/einsum"
 	"repro/internal/fusion"
 	"repro/internal/multilevel"
-	"repro/internal/pareto"
 )
 
 // newTestServer builds a Server plus an httptest frontend, both torn
@@ -182,12 +181,12 @@ func TestCacheStampede(t *testing.T) {
 	gate := make(chan struct{})
 	cfg := Config{
 		deriveWrap: func(d *derivation, fn deriveFn) deriveFn {
-			return func(ctx context.Context) (*pareto.Curve, int64, error) {
+			return func(ctx context.Context) (deriveOut, error) {
 				calls.Add(1)
 				select {
 				case <-gate:
 				case <-ctx.Done():
-					return nil, 0, ctx.Err()
+					return deriveOut{}, ctx.Err()
 				}
 				return fn(ctx)
 			}
@@ -266,7 +265,7 @@ func TestCacheLRUEviction(t *testing.T) {
 	cfg := Config{
 		CacheEntries: 2,
 		deriveWrap: func(d *derivation, fn deriveFn) deriveFn {
-			return func(ctx context.Context) (*pareto.Curve, int64, error) {
+			return func(ctx context.Context) (deriveOut, error) {
 				calls.Add(1)
 				return fn(ctx)
 			}
@@ -326,6 +325,10 @@ func TestRequestValidation(t *testing.T) {
 		{"multilevel zero cap", `{"gemm":{"m":4,"k":4,"n":4},"multilevel":{"l1_cap_bytes":0}}`, "invalid_workload"},
 		{"multilevel with options", `{"gemm":{"m":4,"k":4,"n":4},"multilevel":{"l1_cap_bytes":64},"options":{"charge_spills":true}}`, "invalid_workload"},
 		{"conflicting options", `{"gemm":{"m":4,"k":4,"n":4},"options":{"imperfect_extra":4,"charge_spills":true}}`, "invalid_workload"},
+		{"empty segmentation", `{"segmentation":{"einsums":[]}}`, "invalid_workload"},
+		{"segmentation with options", `{"segmentation":{"einsums":["B[m,n] = A[m,k] * W[k,n] {M=4,K=4,N=4}"]},"options":{"charge_spills":true}}`, "invalid_workload"},
+		{"segmentation with multilevel", `{"segmentation":{"einsums":["B[m,n] = A[m,k] * W[k,n] {M=4,K=4,N=4}"]},"multilevel":{"l1_cap_bytes":64}}`, "invalid_workload"},
+		{"allow_partial without shards", `{"gemm":{"m":4,"k":4,"n":4},"allow_partial":true}`, "invalid_request"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -29,6 +29,12 @@ type Request struct {
 	// multilevel, which are single-Einsum concepts.
 	Chain *ChainSpec `json:"chain,omitempty"`
 
+	// Segmentation requests the segmentation study of a chain of Einsums
+	// (Sec. VII-B): the capacity-wise best curve over all 2^(n-1) cut
+	// patterns, with per-segmentation curves for in-process runs. Like
+	// chain, it is mutually exclusive with options and multilevel.
+	Segmentation *SegmentationSpec `json:"segmentation,omitempty"`
+
 	// MultiLevel switches a single-Einsum request from the two-level
 	// bound to the three-level (L1/L2/DRAM) derivation; the response
 	// curve is the DRAM frontier.
@@ -50,6 +56,13 @@ type Request struct {
 	// NoCache skips the cache lookup (the fresh result still enters the
 	// cache, and concurrent identical requests still deduplicate).
 	NoCache bool `json:"no_cache,omitempty"`
+
+	// AllowPartial, valid only with shards > 1, accepts a degraded merge
+	// when shards fail permanently: instead of an error the response is a
+	// 206 envelope annotated with the covered index fraction and the
+	// missing shard list, and the spool is kept so a retry can finish the
+	// job. Degraded results are never cached.
+	AllowPartial bool `json:"allow_partial,omitempty"`
 }
 
 // GEMMSpec names an M×K×N matrix multiply.
@@ -72,6 +85,30 @@ type ChainSpec struct {
 	Einsums []string `json:"einsums"`
 }
 
+// SegmentationSpec names a chain of producer-consumer Einsums for the
+// segmentation study.
+type SegmentationSpec struct {
+	// Name labels the chain; empty means "chain".
+	Name string `json:"name,omitempty"`
+	// Einsums are the chain's operations in producer order, each in the
+	// einsum expression syntax.
+	Einsums []string `json:"einsums"`
+}
+
+// SegmentResult is one segmentation strategy's curve in the response
+// envelope (in-process segmentation runs only; sharded runs return just
+// the merged best curve).
+type SegmentResult struct {
+	// Label renders the strategy's op spans, e.g. "[0:1)[1:3)".
+	Label string `json:"label"`
+	// Cuts are the first op indices of every segment after the first.
+	Cuts []int `json:"cuts,omitempty"`
+	// Points is the number of frontier breakpoints in Curve.
+	Points int `json:"points"`
+	// Curve is the strategy's frontier.
+	Curve *pareto.Curve `json:"curve"`
+}
+
 // MultiLevelSpec selects the three-level derivation.
 type MultiLevelSpec struct {
 	// L1CapBytes is the innermost-buffer capacity gating mapping
@@ -90,9 +127,19 @@ type OptionsSpec struct {
 	ChargeSpills bool `json:"charge_spills,omitempty"`
 }
 
-// deriveFn runs a derivation to completion under ctx, returning the
-// frontier and the number of mappings evaluated.
-type deriveFn func(ctx context.Context) (*pareto.Curve, int64, error)
+// deriveOut is what a derivation produces: the frontier and the number of
+// mappings evaluated, plus — depending on the path — per-segmentation
+// results (in-process segmentation studies) and the coverage annotation of
+// a degraded shard merge (allow_partial requests whose shards failed).
+type deriveOut struct {
+	curve     *pareto.Curve
+	evaluated int64
+	segments  []SegmentResult
+	degraded  *shard.Degraded
+}
+
+// deriveFn runs a derivation to completion under ctx.
+type deriveFn func(ctx context.Context) (deriveOut, error)
 
 // derivation is a validated, canonicalized unit of work: stable identity
 // (key, digest) for caching and single-flight, the in-process derive
@@ -108,6 +155,13 @@ type derivation struct {
 	space  int64
 	run    deriveFn
 	mkJob  func(shard.Plan) (shard.Job, error)
+
+	// prepare, when non-nil, derives the derivation's inputs (e.g. the
+	// segmentation study's per-op curves) under the flight context before
+	// run or mkJob is used. It runs inside the flight — after admission,
+	// under panic containment — so input derivation is cancellable and
+	// never blocks the request handler.
+	prepare func(ctx context.Context) error
 }
 
 // buildDerivation validates the request's workload and compiles it into
@@ -123,18 +177,24 @@ func buildDerivation(req *Request, workers int) (*derivation, error) {
 	if req.Chain != nil {
 		sources++
 	}
+	if req.Segmentation != nil {
+		sources++
+	}
 	if sources != 1 {
-		return nil, fmt.Errorf("exactly one of einsum, gemm, chain required")
+		return nil, fmt.Errorf("exactly one of einsum, gemm, chain, segmentation required")
 	}
 
-	if req.Chain != nil {
+	if req.Chain != nil || req.Segmentation != nil {
 		if req.MultiLevel != nil {
 			return nil, fmt.Errorf("multilevel applies to single-Einsum workloads, not chains")
 		}
 		if req.Options != (OptionsSpec{}) {
 			return nil, fmt.Errorf("options apply to single-Einsum bound derivations, not chains")
 		}
-		return buildChainDerivation(req.Chain, workers)
+		if req.Chain != nil {
+			return buildChainDerivation(req.Chain, workers)
+		}
+		return buildSegmentationDerivation(req.Segmentation, workers)
 	}
 
 	var e *einsum.Einsum
@@ -183,12 +243,12 @@ func buildBoundDerivation(e *einsum.Einsum, spec OptionsSpec, workers int) (*der
 	d := newDerivation(shard.KindBound, e.String(),
 		shard.Digest(e.Canonical()), shard.Digest(opts.Canonical()))
 	d.space = bound.Space(e, opts)
-	d.run = func(ctx context.Context) (*pareto.Curve, int64, error) {
+	d.run = func(ctx context.Context) (deriveOut, error) {
 		r, err := bound.DeriveRange(ctx, e, opts, 0, d.space)
 		if err != nil {
-			return nil, 0, err
+			return deriveOut{}, err
 		}
-		return r.Curve, r.Stats.MappingsEvaluated, nil
+		return deriveOut{curve: r.Curve, evaluated: r.Stats.MappingsEvaluated}, nil
 	}
 	d.mkJob = func(plan shard.Plan) (shard.Job, error) {
 		return shard.BoundJob(e, opts, plan)
@@ -212,12 +272,12 @@ func buildMultiLevelDerivation(e *einsum.Einsum, l1CapBytes int64, workers int) 
 		fmt.Sprintf("%s three-level L1=%dB", e.String(), l1CapBytes),
 		shard.Digest(e.Canonical()), shard.Digest(shard.MultiLevelCanonical(l1CapBytes)))
 	d.space = space
-	d.run = func(ctx context.Context) (*pareto.Curve, int64, error) {
+	d.run = func(ctx context.Context) (deriveOut, error) {
 		r, err := multilevel.DeriveRange(ctx, e, l1CapBytes, 0, space, opts)
 		if err != nil {
-			return nil, 0, err
+			return deriveOut{}, err
 		}
-		return r.DRAM, r.Mappings, nil
+		return deriveOut{curve: r.DRAM, evaluated: r.Mappings}, nil
 	}
 	d.mkJob = func(plan shard.Plan) (shard.Job, error) {
 		return shard.MultiLevelJob(e, l1CapBytes, opts, plan)
@@ -254,15 +314,93 @@ func buildChainDerivation(spec *ChainSpec, workers int) (*derivation, error) {
 		fmt.Sprintf("%s: %d ops over M=%d", c.Name, len(c.Ops), c.M),
 		shard.Digest(c.Canonical()), shard.Digest("fusion-tiled{}"))
 	d.space = space
-	d.run = func(ctx context.Context) (*pareto.Curve, int64, error) {
+	d.run = func(ctx context.Context) (deriveOut, error) {
 		curve, ts, err := fusion.TiledFusionRange(ctx, c, 0, space, workers)
 		if err != nil {
-			return nil, 0, err
+			return deriveOut{}, err
 		}
-		return curve, ts.Evaluated, nil
+		return deriveOut{curve: curve, evaluated: ts.Evaluated}, nil
 	}
 	d.mkJob = func(plan shard.Plan) (shard.Job, error) {
 		return shard.FusionTiledJob(c, plan, workers)
+	}
+	return d, nil
+}
+
+// buildSegmentationDerivation compiles a segmentation study over a chain.
+// The study's inputs — each op's standalone ski-slope curve — are
+// themselves derivations, so they run in the prepare hook under the
+// flight context rather than in the request handler. They are derived
+// with default bound options, which have no result-affecting fields set,
+// so the identity (and hence the spool directory of a sharded run) is a
+// pure function of the chain and stays stable across server restarts.
+func buildSegmentationDerivation(spec *SegmentationSpec, workers int) (*derivation, error) {
+	if len(spec.Einsums) == 0 {
+		return nil, fmt.Errorf("segmentation needs at least one einsum")
+	}
+	name := spec.Name
+	if name == "" {
+		name = "chain"
+	}
+	es := make([]*einsum.Einsum, len(spec.Einsums))
+	for i, s := range spec.Einsums {
+		e, err := einsum.Parse(s)
+		if err != nil {
+			return nil, fmt.Errorf("segmentation einsum %d: %w", i, err)
+		}
+		es[i] = e
+	}
+	c, err := fusion.FromEinsums(name, es...)
+	if err != nil {
+		return nil, err
+	}
+	space, err := fusion.SegmentationSpace(c)
+	if err != nil {
+		return nil, err
+	}
+	d := newDerivation(shard.KindSegmentation,
+		fmt.Sprintf("%s: %d-op segmentation study over M=%d", c.Name, len(c.Ops), c.M),
+		shard.Digest(c.Canonical()), shard.Digest("segmentation{}"))
+	d.space = space
+
+	opts := bound.Options{Workers: workers}
+	var perOp []*pareto.Curve
+	d.prepare = func(ctx context.Context) error {
+		curves := make([]*pareto.Curve, len(c.Ops))
+		for i := range c.Ops {
+			e := c.Ops[i].Ref
+			r, err := bound.DeriveRange(ctx, e, opts, 0, bound.Space(e, opts))
+			if err != nil {
+				return fmt.Errorf("per-op curve %d (%s): %w", i, e.String(), err)
+			}
+			curves[i] = r.Curve
+		}
+		perOp = curves
+		return nil
+	}
+	d.run = func(ctx context.Context) (deriveOut, error) {
+		study, ts, err := fusion.SegmentationStudyContext(ctx, c, perOp, workers)
+		if err != nil {
+			return deriveOut{}, err
+		}
+		curves := make([]*pareto.Curve, len(study))
+		segments := make([]SegmentResult, len(study))
+		for i, sr := range study {
+			curves[i] = sr.Curve
+			segments[i] = SegmentResult{
+				Label:  sr.Label,
+				Cuts:   sr.Segmentation.Cuts,
+				Points: sr.Curve.Len(),
+				Curve:  sr.Curve,
+			}
+		}
+		best := pareto.MergeMin(curves...)
+		best.AlgoMinBytes = c.FusedAlgoMinBytes()
+		best.TotalOperandBytes = c.UnfusedAlgoMinBytes()
+		return deriveOut{curve: best, evaluated: ts.Evaluated, segments: segments}, nil
+	}
+	d.mkJob = func(plan shard.Plan) (shard.Job, error) {
+		return shard.SegmentationJob(c, perOp, plan, workers)
 	}
 	return d, nil
 }

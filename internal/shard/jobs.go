@@ -3,6 +3,7 @@ package shard
 import (
 	"context"
 	"fmt"
+	"strings"
 
 	"repro/internal/bound"
 	"repro/internal/einsum"
@@ -64,6 +65,61 @@ func FusionTiledJob(c *fusion.Chain, plan Plan, workers int) (Job, error) {
 		Plan:           plan,
 		Derive: func(ctx context.Context, lo, hi int64) (*pareto.Curve, int64, error) {
 			curve, ts, err := fusion.TiledFusionRange(ctx, c, lo, hi, workers)
+			if err != nil {
+				return nil, 0, err
+			}
+			return curve, ts.Evaluated, nil
+		},
+	}, nil
+}
+
+// SegmentationCanonical renders the full workload identity of a
+// segmentation study as the stable string hashed into the workload
+// digest: the chain itself plus every per-op standalone curve. The per-op
+// curves are derivation inputs (single-op segments reuse them verbatim),
+// so two studies agree only when both the chain and the curves do. Shared
+// by SegmentationJob and the serve package so the direct and sharded
+// paths agree on digests.
+func SegmentationCanonical(c *fusion.Chain, perOp []*pareto.Curve) string {
+	var b strings.Builder
+	b.WriteString("segmentation{chain=")
+	b.WriteString(c.Canonical())
+	b.WriteString(" per_op=[")
+	for i, cv := range perOp {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(cv.Canonical())
+	}
+	b.WriteString("]}")
+	return b.String()
+}
+
+// SegmentationJob builds the shard job for a chain's segmentation study:
+// plan slice of fusion.SegmentationSpace(c), derived with a
+// fusion.SegmentationSweep held across checkpoint blocks so fused
+// sub-chain curves are memoized for the life of the process. The memo is
+// derived state and is never checkpointed: a resumed shard rebuilds it
+// lazily from the masks it still has to evaluate (recompute-on-resume;
+// see docs/shard-format.md). The sweep itself has no result-affecting
+// options, so the options digest covers only the kind.
+func SegmentationJob(c *fusion.Chain, perOp []*pareto.Curve, plan Plan, workers int) (Job, error) {
+	if err := plan.Validate(); err != nil {
+		return Job{}, err
+	}
+	sweep, err := fusion.NewSegmentationSweep(c, perOp)
+	if err != nil {
+		return Job{}, err
+	}
+	return Job{
+		Kind:           KindSegmentation,
+		Workload:       fmt.Sprintf("%s: %d-op segmentation study over M=%d", c.Name, len(c.Ops), c.M),
+		WorkloadDigest: Digest(SegmentationCanonical(c, perOp)),
+		OptionsDigest:  Digest("segmentation{}"),
+		Items:          sweep.Space(),
+		Plan:           plan,
+		Derive: func(ctx context.Context, lo, hi int64) (*pareto.Curve, int64, error) {
+			curve, ts, err := sweep.Range(ctx, lo, hi, workers)
 			if err != nil {
 				return nil, 0, err
 			}

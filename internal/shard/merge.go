@@ -235,6 +235,10 @@ func MergeDegraded(partials ...*Partial) (*Degraded, error) {
 	d.Curve = pareto.Union(curves...)
 	d.Curve.AlgoMinBytes = partials[0].Curve.AlgoMinBytes
 	d.Curve.TotalOperandBytes = partials[0].Curve.TotalOperandBytes
+	// An actually-incomplete cover taints the curve itself, so the
+	// degraded mark survives any further composition (pareto.Sum and
+	// friends carry it) and any serialization of the bare curve.
+	d.Curve.Degraded = !d.Complete()
 	return d, nil
 }
 

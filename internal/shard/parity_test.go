@@ -121,6 +121,120 @@ func TestFusionShardingParity(t *testing.T) {
 	}
 }
 
+// segChain returns a five-op chain whose segmentation mask space has
+// 2^4 = 16 entries — enough to slice meaningfully across 8 shards and to
+// checkpoint mid-shard.
+func segChain(t *testing.T) (*fusion.Chain, []*pareto.Curve) {
+	t.Helper()
+	c, err := fusion.NewChain("mlp5", 16,
+		fusion.GEMMOp("g0", 16, 4, 8),
+		fusion.GEMMOp("g1", 16, 8, 8),
+		fusion.GEMMOp("g2", 16, 8, 4),
+		fusion.GEMMOp("g3", 16, 4, 8),
+		fusion.GEMMOp("g4", 16, 8, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, c.PerOpCurves(bound.Options{Workers: 1})
+}
+
+// TestSegmentationShardingParity pins the tentpole acceptance criterion:
+// the sharded segmentation study merges byte-identically to the
+// in-process BestSegmentationStats curve for N ∈ {2, 4, 8}.
+func TestSegmentationShardingParity(t *testing.T) {
+	c, perOp := segChain(t)
+	want, _, err := fusion.BestSegmentationStats(c, perOp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes := curveBytes(t, want)
+
+	for _, n := range []int{2, 4, 8} {
+		paths := runShards(t, t.TempDir(), n, func(plan Plan) Job {
+			job, err := SegmentationJob(c, perOp, plan, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return job
+		})
+		merged, err := MergeFiles(paths...)
+		if err != nil {
+			t.Fatalf("N=%d: %v", n, err)
+		}
+		if got := curveBytes(t, merged); got != wantBytes {
+			t.Fatalf("N=%d: merged segmentation curve differs from single-process study\n got %s\nwant %s", n, got, wantBytes)
+		}
+	}
+}
+
+// TestSegmentationKillAndResumeParity kills a segmentation shard between
+// checkpoint flushes and resumes it with the SAME job — deliberately
+// reusing the sweep whose memo saw the cancellation, so the test covers
+// both the recompute-on-resume story (memo entries are derived state, not
+// checkpointed) and the memo re-arm fix (a cancelled sub-chain compute
+// must be retried, not replayed as a stale error).
+func TestSegmentationKillAndResumeParity(t *testing.T) {
+	c, perOp := segChain(t)
+	want, _, err := fusion.BestSegmentationStats(c, perOp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes := curveBytes(t, want)
+
+	const n = 4
+	dir := t.TempDir()
+	paths := make([]string, n)
+	for k := 0; k < n; k++ {
+		paths[k] = filepath.Join(dir, fmt.Sprintf("shard-%d.json", k+1))
+		job, err := SegmentationJob(c, perOp, Plan{Index: k, Count: n}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k != 1 {
+			if _, _, err := Run(context.Background(), job, RunOptions{Path: paths[k], CheckpointEvery: 2}); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+
+		// Kill shard 2 after its first flush...
+		ctx, cancel := context.WithCancel(context.Background())
+		_, _, err = Run(ctx, job, RunOptions{
+			Path:            paths[k],
+			CheckpointEvery: 2,
+			OnCheckpoint:    func(Manifest) { cancel() },
+		})
+		cancel()
+		if err == nil {
+			t.Fatal("killed run reported success")
+		}
+		killed, rerr := ReadPartial(paths[k])
+		if rerr != nil {
+			t.Fatalf("no resumable checkpoint after kill: %v", rerr)
+		}
+		if killed.Manifest.Complete() {
+			t.Fatal("kill point was after shard completion; lower CheckpointEvery")
+		}
+
+		// ...then restart the same job on the same file.
+		_, stats, err := Run(context.Background(), job, RunOptions{Path: paths[k], CheckpointEvery: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !stats.Resumed || stats.ResumedFrom != killed.Manifest.CompletedThrough {
+			t.Fatalf("restart did not resume at checkpoint: stats %+v, checkpoint at %d",
+				stats, killed.Manifest.CompletedThrough)
+		}
+	}
+	merged, err := MergeFiles(paths...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := curveBytes(t, merged); got != wantBytes {
+		t.Fatalf("kill+resume merged segmentation curve differs from single-process result\n got %s\nwant %s", got, wantBytes)
+	}
+}
+
 // TestKillAndResumeParity kills one shard mid-run (context cancellation
 // after a fixed number of checkpoint flushes — the same code path as a
 // SIGKILL between flushes, since each flush is an atomic rename), resumes

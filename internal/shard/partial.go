@@ -47,9 +47,10 @@ type Kind string
 
 // The derivation paths with sharded index spaces.
 const (
-	KindBound       Kind = "bound"        // bound.DeriveRange over a single Einsum's mapspace
-	KindFusionTiled Kind = "fusion-tiled" // fusion.TiledFusionRange over a chain's FFMT template space
-	KindMultiLevel  Kind = "multilevel"   // multilevel.DeriveRange over the three-split combination space (DRAM frontier)
+	KindBound        Kind = "bound"        // bound.DeriveRange over a single Einsum's mapspace
+	KindFusionTiled  Kind = "fusion-tiled" // fusion.TiledFusionRange over a chain's FFMT template space
+	KindMultiLevel   Kind = "multilevel"   // multilevel.DeriveRange over the three-split combination space (DRAM frontier)
+	KindSegmentation Kind = "segmentation" // fusion.SegmentationRange over a chain's 2^(n-1) cut-pattern mask space
 )
 
 // Manifest is the partial-frontier file header: everything a merge needs
@@ -105,7 +106,7 @@ func (m *Manifest) Validate() error {
 	if m.Engine == "" {
 		return fmt.Errorf("shard: manifest missing engine version")
 	}
-	if m.Kind != KindBound && m.Kind != KindFusionTiled && m.Kind != KindMultiLevel {
+	if m.Kind != KindBound && m.Kind != KindFusionTiled && m.Kind != KindMultiLevel && m.Kind != KindSegmentation {
 		return fmt.Errorf("shard: manifest has unknown kind %q", m.Kind)
 	}
 	if m.WorkloadDigest == "" || m.OptionsDigest == "" {

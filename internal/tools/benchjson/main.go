@@ -1,0 +1,128 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON artifact, so benchmark results can be archived, diffed, and
+// consumed by tooling without re-parsing the free-form text. It reads
+// the benchmark log from stdin and writes one JSON document:
+//
+//	go test -run '^$' -bench . -benchmem . | go run ./internal/tools/benchjson -out BENCH.json
+//
+// Every `Benchmark*` result line becomes one entry carrying the
+// benchmark name (with the -GOMAXPROCS suffix split off), the iteration
+// count, and every reported metric — the standard ns/op, B/op and
+// allocs/op as well as any custom b.ReportMetric units. Non-benchmark
+// lines (PASS, ok, goos/goarch headers) are ignored, so the tool can be
+// fed the raw `go test` stream.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	// Name is the benchmark name without the -GOMAXPROCS suffix.
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS the benchmark ran at (0 when the line
+	// carried no suffix).
+	Procs int `json:"procs,omitempty"`
+	// Iterations is b.N for the reported run.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit -> value for every "<value> <unit>" pair on the
+	// line (ns/op, B/op, allocs/op, custom ReportMetric units).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the emitted JSON document.
+type Report struct {
+	// Benchmarks are the parsed results in input order.
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	out := flag.String("out", "", "output file (empty = stdout)")
+	flag.Parse()
+
+	report, err := parse(os.Stdin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks -> %s\n", len(report.Benchmarks), *out)
+}
+
+// parse scans a `go test -bench` stream and collects every result line.
+func parse(r io.Reader) (*Report, error) {
+	report := &Report{Benchmarks: []Benchmark{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		b, ok, err := parseLine(sc.Text())
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			report.Benchmarks = append(report.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return report, nil
+}
+
+// parseLine parses one benchmark result line; ok is false for anything
+// that is not one (headers, PASS/ok trailers, blank lines). A line that
+// starts like a result but does not parse is an error — silently
+// dropping it would under-report the suite.
+func parseLine(line string) (Benchmark, bool, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false, nil
+	}
+	// Result lines have an iteration count in field 1; lines like
+	// "BenchmarkFoo--- FAIL" or the bare name printed with -v do not.
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false, nil
+	}
+	b := Benchmark{Iterations: iters, Metrics: map[string]float64{}}
+	b.Name = fields[0]
+	if i := strings.LastIndex(b.Name, "-"); i > 0 {
+		if procs, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+			b.Name, b.Procs = b.Name[:i], procs
+		}
+	}
+	b.Name = strings.TrimPrefix(b.Name, "Benchmark")
+	rest := fields[2:]
+	if len(rest)%2 != 0 {
+		return Benchmark{}, false, fmt.Errorf("odd metric pairing in result line %q", line)
+	}
+	for i := 0; i < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return Benchmark{}, false, fmt.Errorf("metric value %q in result line %q: %v", rest[i], line, err)
+		}
+		b.Metrics[rest[i+1]] = v
+	}
+	return b, true, nil
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseBenchStream: a realistic -bench -benchmem stream parses into
+// named entries with every metric, skipping headers and trailers.
+func TestParseBenchStream(t *testing.T) {
+	stream := `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkFig01_SkiSlope16k1k1k-8   	     120	   9876543 ns/op	  204800 B/op	    1024 allocs/op
+BenchmarkFig21_Segmentation-8      	      10	 112233445 ns/op	 9.875 curves/op
+PASS
+ok  	repro	12.345s
+`
+	report, err := parse(strings.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(report.Benchmarks))
+	}
+	b := report.Benchmarks[0]
+	if b.Name != "Fig01_SkiSlope16k1k1k" || b.Procs != 8 || b.Iterations != 120 {
+		t.Fatalf("first entry parsed as %+v", b)
+	}
+	if b.Metrics["ns/op"] != 9876543 || b.Metrics["B/op"] != 204800 || b.Metrics["allocs/op"] != 1024 {
+		t.Fatalf("first entry metrics %v", b.Metrics)
+	}
+	seg := report.Benchmarks[1]
+	if seg.Name != "Fig21_Segmentation" {
+		t.Fatalf("second entry name %q", seg.Name)
+	}
+	if seg.Metrics["curves/op"] != 9.875 {
+		t.Fatalf("custom ReportMetric unit lost: %v", seg.Metrics)
+	}
+}
+
+// TestParseLineRejectsTornResults: a line that starts like a result but
+// carries unpaired metrics is an error, not a silent skip.
+func TestParseLineRejectsTornResults(t *testing.T) {
+	if _, _, err := parseLine("BenchmarkX-8 100 123 ns/op 456"); err == nil {
+		t.Fatal("torn result line parsed without error")
+	}
+	if _, ok, err := parseLine("BenchmarkX ran fine"); ok || err != nil {
+		t.Fatalf("non-result line: ok=%v err=%v, want skipped", ok, err)
+	}
+}
+
+// TestParseLineNoProcsSuffix: GOMAXPROCS=1 result lines have no -N
+// suffix; the name must survive intact.
+func TestParseLineNoProcsSuffix(t *testing.T) {
+	b, ok, err := parseLine("BenchmarkSolo 5 200 ns/op")
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if b.Name != "Solo" || b.Procs != 0 || b.Iterations != 5 {
+		t.Fatalf("parsed %+v", b)
+	}
+}
