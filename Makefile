@@ -5,7 +5,8 @@
 RACE_PKGS := ./internal/bound ./internal/pareto ./internal/fusion \
              ./internal/traverse ./internal/mapping \
              ./internal/multilevel ./internal/simba \
-             ./internal/shard ./internal/supervise ./internal/serve
+             ./internal/shard ./internal/supervise ./internal/serve \
+             ./internal/workload
 
 # The fault-injection and supervision suites: every scripted I/O failure,
 # kill and cancellation must end in a successful retry or a named,
@@ -48,14 +49,19 @@ serve:
 	go test -race -count=1 ./internal/serve
 
 # Machine-readable benchmark artifact: the paper-figure benchmark suite
-# (root package) parsed into BENCH_PR6.json by internal/tools/benchjson.
-# BENCHTIME=1x (the default) runs each benchmark once — a smoke-level
-# artifact for CI; raise it (e.g. BENCHTIME=2s) for stable numbers.
+# (root package) parsed into BENCH_PR7.json by internal/tools/benchjson,
+# followed by a delta report against the previous PR's artifact so
+# regressions are visible in the CI log. BENCHTIME=1x (the default) runs
+# each benchmark once — a smoke-level artifact for CI; raise it (e.g.
+# BENCHTIME=2s) for stable numbers.
 BENCHTIME ?= 1x
 BENCH ?= .
 
 bench-json:
 	go test -run '^$$' -bench '$(BENCH)' -benchtime $(BENCHTIME) -benchmem . \
-		| go run ./internal/tools/benchjson -out BENCH_PR6.json
+		| go run ./internal/tools/benchjson -out BENCH_PR7.json
+	@if [ -f BENCH_PR6.json ]; then \
+		go run ./internal/tools/benchjson -delta BENCH_PR6.json BENCH_PR7.json; \
+	fi
 
 ci: vet build test race robust serve docs

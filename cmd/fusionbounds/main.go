@@ -23,25 +23,27 @@
 //
 //	fusionbounds -m 32768 -ops 4096x16384,16384x4096 -supervise 4 -shard-dir parts/ -out tiled.json
 //	fusionbounds -m 32768 -ops 4096x16384,16384x4096 -path segmentation -supervise 4 -shard-dir segparts/ -out best.json
+//
+// Any serialized workload spec (docs/workload-spec.md) runs through the
+// same modes, whatever its kind — derivations are first-class values:
+//
+//	fusionbounds -spec spec.json -supervise 4 -shard-dir parts/ -out curve.json
 package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
-	"os/signal"
 	"strings"
-	"syscall"
 	"time"
 
 	orojenesis "repro"
-	"repro/internal/bound"
 	"repro/internal/cliutil"
+	"repro/internal/pareto"
 	"repro/internal/shard"
-	"repro/internal/supervise"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -57,18 +59,18 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel evaluation goroutines (0 = GOMAXPROCS)")
 	stats := flag.Bool("stats", false, "print per-phase traversal statistics")
 	path := flag.String("path", "tiled", "sharded derivation path: tiled (FFMT template sweep) or segmentation (2^(n-1) cut study)")
-	shardSpec := flag.String("shard", "", "derive only shard k/N of the -path sweep into -out (e.g. 1/4); resumes an interrupted run from the same file")
-	out := flag.String("out", "", "partial-frontier file for -shard (checkpoint target and final artifact), or merged tiled-fusion curve JSON for -supervise")
-	checkpoint := flag.Int64("checkpoint", 0, "template indices per checkpoint flush in -shard/-supervise mode (0 = ~1/32 of each slice)")
-	superviseN := flag.Int("supervise", 0, "derive all N shards of the -path sweep under one supervisor (retry, quarantine, resumable interrupt) and merge the result")
-	shardDir := flag.String("shard-dir", "", "directory for per-shard checkpoint files in -supervise mode (required; reused on resume)")
-	retries := flag.Int("retries", 0, "per-shard retry budget in -supervise mode (0 = default, negative = none)")
-	allowPartial := flag.Bool("allow-partial", false, "in -supervise mode, emit an annotated degraded curve when shards fail permanently instead of refusing")
+	specFile := flag.String("spec", "", "run a serialized workload spec (JSON, any kind; see docs/workload-spec.md) instead of workload flags")
+	sf := cliutil.AddShardFlags(flag.CommandLine, "template indices")
 	flag.Parse()
 
 	opts := orojenesis.Options{Workers: *workers}
 	if err := opts.Validate(); err != nil {
 		log.Fatal(err)
+	}
+
+	if *specFile != "" {
+		cliutil.RunSpec(*specFile, sf, *workers, *stats, summarize)
+		return
 	}
 
 	var chain *orojenesis.Chain
@@ -82,16 +84,27 @@ func main() {
 		log.Fatal(err)
 	}
 
-	if *superviseN > 0 || *shardSpec != "" {
+	if sf.Active() {
 		mkJob, err := jobMaker(chain, *path, *workers)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if *superviseN > 0 {
-			runSupervised(chain, mkJob, *path, *superviseN, *shardDir, *out, *checkpoint, *retries, *allowPartial, *stats)
+		name := "tiled-fusion"
+		if *path == "segmentation" {
+			name = "best-segmentation"
+		}
+		cfg := cliutil.ShardRunConfig{
+			Header:    fmt.Sprintf("chain: %d ops over M=%d", chain.Len(), chain.M),
+			IndexNoun: "template indices",
+			EvalNoun:  "candidates",
+			Stats:     *stats,
+			Summarize: func(c *pareto.Curve) { summarize(name, c) },
+		}
+		if sf.Supervise > 0 {
+			cliutil.RunSupervised(cfg, sf, mkJob)
 			return
 		}
-		runShard(chain, mkJob, *shardSpec, *out, *checkpoint, *stats)
+		cliutil.RunShard(cfg, sf, mkJob)
 		return
 	}
 	a, err := orojenesis.AnalyzeChain(chain, opts)
@@ -141,147 +154,36 @@ func main() {
 }
 
 // jobMaker returns the shard-job constructor for the selected derivation
-// path. The segmentation path derives each op's standalone ski-slope
-// curve up front: those curves are inputs of the study and part of the
-// job's workload digest, so every shard of a fleet — and every resume —
-// must be built from the same deterministic set.
+// path, compiling through the workload spec so every checkpoint manifest
+// embeds it and stays resumable by shardmerge -resume alone. The
+// segmentation path derives each op's standalone ski-slope curve up
+// front (Materialize): those curves are inputs of the study and part of
+// the job's workload digest, so every shard of a fleet — and every
+// resume — must be built from the same deterministic set.
 func jobMaker(chain *orojenesis.Chain, path string, workers int) (func(shard.Plan) (shard.Job, error), error) {
+	exec := workload.Exec{Workers: workers}
+	var spec *workload.Spec
 	switch path {
 	case "tiled":
-		return func(p shard.Plan) (shard.Job, error) {
-			return shard.FusionTiledJob(chain, p, workers)
-		}, nil
+		spec = workload.NewFusionTiled(chain)
 	case "segmentation":
-		perOp := chain.PerOpCurves(bound.Options{Workers: workers})
-		return func(p shard.Plan) (shard.Job, error) {
-			return shard.SegmentationJob(chain, perOp, p, workers)
-		}, nil
+		var err error
+		spec, err = workload.NewSegmentation(chain, nil).Materialize(context.Background(), exec)
+		if err != nil {
+			return nil, err
+		}
 	default:
 		return nil, fmt.Errorf("unknown -path %q (want tiled or segmentation)", path)
 	}
+	return func(p shard.Plan) (shard.Job, error) { return spec.Compile(p, exec) }, nil
 }
 
-// runShard derives one slice of the selected sweep's index space into a
-// resumable partial-frontier file (the -shard k/N -out FILE mode).
-// SIGINT/SIGTERM flush a final checkpoint and exit; rerunning the same
-// command resumes.
-func runShard(chain *orojenesis.Chain, mkJob func(shard.Plan) (shard.Job, error), spec, out string, checkpoint int64, stats bool) {
-	if out == "" {
-		log.Fatal("-shard requires -out FILE for the partial frontier")
-	}
-	plan, err := shard.ParsePlan(spec)
-	if err != nil {
-		log.Fatal(err)
-	}
-	job, err := mkJob(plan)
-	if err != nil {
-		log.Fatal(err)
-	}
-	ropts := shard.RunOptions{Path: out, CheckpointEvery: checkpoint}
-	if stats {
-		ropts.OnCheckpoint = func(m shard.Manifest) {
-			fmt.Printf("checkpoint: %d / %d template indices of shard %s\n",
-				m.CompletedThrough-m.RangeLo, m.RangeHi-m.RangeLo, plan)
-		}
-	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	p, rs, err := shard.Run(ctx, job, ropts)
-	if err != nil {
-		if ctx.Err() != nil && p != nil {
-			log.Printf("interrupted at index %d of shard %s; checkpoint flushed to %s — rerun the same command to resume",
-				p.Manifest.CompletedThrough, plan, out)
-			os.Exit(130)
-		}
-		log.Fatal(err)
-	}
-	lo, hi := plan.Slice(job.Items)
-	fmt.Printf("chain: %d ops over M=%d\n", chain.Len(), chain.M)
-	if rs.Resumed {
-		fmt.Printf("resumed shard %s at index %d\n", plan, rs.ResumedFrom)
-	}
-	fmt.Printf("shard %s: indices [%d, %d) of %d, %d candidates evaluated in %v\n",
-		plan, lo, hi, job.Items, rs.Evaluated, rs.Elapsed)
-	fmt.Printf("partial frontier: %d points -> %s\n", p.Curve.Len(), out)
-}
-
-// runSupervised derives all N shards of the selected sweep under one
-// supervisor (the -supervise N -shard-dir DIR mode): retried with backoff
-// on transient failures, corrupt checkpoints quarantined and re-derived,
-// SIGINT/SIGTERM resumable by rerunning. The merged curve — exact, or
-// degraded under -allow-partial — is summarized and optionally written
-// to -out.
-func runSupervised(chain *orojenesis.Chain, mkJob func(shard.Plan) (shard.Job, error), path string, n int, dir, out string, checkpoint int64, retries int, allowPartial, stats bool) {
-	if dir == "" {
-		log.Fatal("-supervise requires -shard-dir DIR for the per-shard checkpoint files")
-	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		log.Fatal(err)
-	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	sopts := supervise.Options{
-		Dir:             dir,
-		CheckpointEvery: checkpoint,
-		MaxRetries:      retries,
-		AllowPartial:    allowPartial,
-		Logf:            log.Printf,
-	}
-	if stats {
-		sopts.OnCheckpoint = func(m shard.Manifest) {
-			fmt.Printf("checkpoint: shard %d/%d at %d / %d indices\n",
-				m.ShardIndex+1, m.ShardCount, m.CompletedThrough-m.RangeLo, m.RangeHi-m.RangeLo)
-		}
-	}
-	report, err := supervise.Run(ctx, n, mkJob, sopts)
-	if report != nil && report.Interrupted {
-		log.Printf("interrupted; shard checkpoints flushed under %s — rerun the same command to resume", dir)
-		os.Exit(130)
-	}
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	fmt.Printf("chain: %d ops over M=%d\n", chain.Len(), chain.M)
-	var attempts int
-	for _, st := range report.Shards {
-		attempts += st.Attempts
-		for _, q := range st.Quarantined {
-			fmt.Printf("shard %s: quarantined corrupt checkpoint -> %s\n", st.Plan, q)
-		}
-	}
-	fmt.Printf("supervised %d shards in %d attempts\n", n, attempts)
-
-	curve := report.Curve
-	if report.Degraded != nil {
-		d := report.Degraded
-		curve = d.Curve
-		fmt.Printf("DEGRADED curve: covers %d of %d indices (%.2f%%); missing shards %v, incomplete %v\n",
-			d.CoveredIndices, d.Items, 100*d.CoveredFraction, d.MissingShards, d.IncompleteShards)
-	}
-	name := "tiled-fusion"
-	if path == "segmentation" {
-		name = "best-segmentation"
-	}
-	series := orojenesis.Series{Name: name, Curve: curve}
-	fmt.Print(orojenesis.SummaryTable([]int64{1 << 20, 10 << 20, 256 << 20}, series))
-
-	if out != "" {
-		// A degraded result is serialized only inside its annotated
-		// envelope, never as a bare curve.
-		var payload any = curve
-		if report.Degraded != nil {
-			payload = report.Degraded
-		}
-		data, err := json.Marshal(payload)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("merged curve: %d points -> %s\n", curve.Len(), out)
-	}
+// summarize renders the chain summary table for a merged or spec-run
+// curve — the Summarize hook of the shared shard runners.
+func summarize(name string, c *pareto.Curve) {
+	fmt.Print(orojenesis.SummaryTable(
+		[]int64{1 << 20, 10 << 20, 256 << 20},
+		orojenesis.Series{Name: name, Curve: c}))
 }
 
 func buildEinsumChain(spec string) (*orojenesis.Chain, error) {

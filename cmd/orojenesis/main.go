@@ -24,22 +24,25 @@
 // docs/shard-format.md, "Failure model"):
 //
 //	orojenesis -gemm 4096,4096,4096 -supervise 4 -shard-dir parts/ -out curve.json
+//
+// Any serialized workload spec (docs/workload-spec.md) runs through the
+// same modes, whatever its kind — derivations are first-class values:
+//
+//	orojenesis -spec spec.json
+//	orojenesis -spec spec.json -supervise 4 -shard-dir parts/ -out curve.json
 package main
 
 import (
-	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
-	"os/signal"
-	"syscall"
 
 	orojenesis "repro"
 	"repro/internal/cliutil"
+	"repro/internal/pareto"
 	"repro/internal/shard"
-	"repro/internal/supervise"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -60,13 +63,8 @@ func main() {
 	imperfect := flag.Int("imperfect", 0, "extra imperfect-factor samples per rank (0 = perfect factors only)")
 	workers := flag.Int("workers", 0, "parallel evaluation goroutines (0 = GOMAXPROCS)")
 	stats := flag.Bool("stats", false, "print traversal statistics (workers used, mappings/sec)")
-	shardSpec := flag.String("shard", "", "derive only shard k/N of the mapspace into -out (e.g. 1/4); resumes an interrupted run from the same file")
-	out := flag.String("out", "", "partial-frontier file for -shard (checkpoint target and final artifact), or merged-curve JSON file for -supervise")
-	checkpoint := flag.Int64("checkpoint", 0, "tiling indices per checkpoint flush in -shard/-supervise mode (0 = ~1/32 of each slice)")
-	superviseN := flag.Int("supervise", 0, "derive all N shards under one supervisor (retry, quarantine, resumable interrupt) and merge the result")
-	shardDir := flag.String("shard-dir", "", "directory for per-shard checkpoint files in -supervise mode (required; reused on resume)")
-	retries := flag.Int("retries", 0, "per-shard retry budget in -supervise mode (0 = default, negative = none)")
-	allowPartial := flag.Bool("allow-partial", false, "in -supervise mode, emit an annotated degraded curve when shards fail permanently instead of refusing")
+	specFile := flag.String("spec", "", "run a serialized workload spec (JSON, any kind; see docs/workload-spec.md) instead of workload flags")
+	sf := cliutil.AddShardFlags(flag.CommandLine, "tiling indices")
 	flag.Parse()
 
 	opts := orojenesis.Options{ImperfectExtra: *imperfect, Workers: *workers}
@@ -74,6 +72,10 @@ func main() {
 		log.Fatal(err)
 	}
 
+	if *specFile != "" {
+		cliutil.RunSpec(*specFile, sf, *workers, *stats, summarize)
+		return
+	}
 	if *ratio {
 		runRatioStudy()
 		return
@@ -84,12 +86,25 @@ func main() {
 		log.Fatal(err)
 	}
 
-	if *superviseN > 0 {
-		runSupervised(e, opts, *superviseN, *shardDir, *out, *checkpoint, *retries, *allowPartial, *stats)
-		return
-	}
-	if *shardSpec != "" {
-		runShard(e, opts, *shardSpec, *out, *checkpoint, *stats)
+	if sf.Active() {
+		cfg := cliutil.ShardRunConfig{
+			Header:    fmt.Sprintf("workload: %s", e),
+			IndexNoun: "indices",
+			EvalNoun:  "mappings",
+			Stats:     *stats,
+			Summarize: func(c *pareto.Curve) { summarize(e.Name, c) },
+		}
+		// Compile through the workload spec rather than shard.BoundJob
+		// directly, so every checkpoint manifest embeds the spec and
+		// stays resumable by shardmerge -resume alone.
+		spec := workload.NewBound(e, opts)
+		exec := workload.Exec{Workers: *workers}
+		mkJob := func(p shard.Plan) (shard.Job, error) { return spec.Compile(p, exec) }
+		if sf.Supervise > 0 {
+			cliutil.RunSupervised(cfg, sf, mkJob)
+			return
+		}
+		cliutil.RunShard(cfg, sf, mkJob)
 		return
 	}
 	a, err := orojenesis.Analyze(e, opts)
@@ -143,124 +158,12 @@ func main() {
 	}
 }
 
-// runShard derives one slice of e's mapspace into a resumable
-// partial-frontier file (the -shard k/N -out FILE mode). SIGINT/SIGTERM
-// flush a final checkpoint and exit; rerunning the same command resumes.
-func runShard(e *orojenesis.Einsum, opts orojenesis.Options, spec, out string, checkpoint int64, stats bool) {
-	if out == "" {
-		log.Fatal("-shard requires -out FILE for the partial frontier")
-	}
-	plan, err := shard.ParsePlan(spec)
-	if err != nil {
-		log.Fatal(err)
-	}
-	job, err := shard.BoundJob(e, opts, plan)
-	if err != nil {
-		log.Fatal(err)
-	}
-	ropts := shard.RunOptions{Path: out, CheckpointEvery: checkpoint}
-	if stats {
-		ropts.OnCheckpoint = func(m shard.Manifest) {
-			fmt.Printf("checkpoint: %d / %d indices of shard %s\n",
-				m.CompletedThrough-m.RangeLo, m.RangeHi-m.RangeLo, plan)
-		}
-	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	p, rs, err := shard.Run(ctx, job, ropts)
-	if err != nil {
-		if ctx.Err() != nil && p != nil {
-			log.Printf("interrupted at index %d of shard %s; checkpoint flushed to %s — rerun the same command to resume",
-				p.Manifest.CompletedThrough, plan, out)
-			os.Exit(130)
-		}
-		log.Fatal(err)
-	}
-	lo, hi := plan.Slice(job.Items)
-	fmt.Printf("workload: %s\n", e)
-	if rs.Resumed {
-		fmt.Printf("resumed shard %s at index %d\n", plan, rs.ResumedFrom)
-	}
-	fmt.Printf("shard %s: indices [%d, %d) of %d, %d mappings evaluated in %v\n",
-		plan, lo, hi, job.Items, rs.Evaluated, rs.Elapsed)
-	fmt.Printf("partial frontier: %d points -> %s\n", p.Curve.Len(), out)
-}
-
-// runSupervised derives all N shards of e's mapspace under one supervisor
-// (the -supervise N -shard-dir DIR mode): retried with backoff on
-// transient failures, corrupt checkpoints quarantined and re-derived, and
-// SIGINT/SIGTERM flushing final checkpoints so rerunning the same command
-// resumes every shard. The merged curve — exact, or degraded under
-// -allow-partial — is summarized and optionally written to -out.
-func runSupervised(e *orojenesis.Einsum, opts orojenesis.Options, n int, dir, out string, checkpoint int64, retries int, allowPartial, stats bool) {
-	if dir == "" {
-		log.Fatal("-supervise requires -shard-dir DIR for the per-shard checkpoint files")
-	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		log.Fatal(err)
-	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	sopts := supervise.Options{
-		Dir:             dir,
-		CheckpointEvery: checkpoint,
-		MaxRetries:      retries,
-		AllowPartial:    allowPartial,
-		Logf:            log.Printf,
-	}
-	if stats {
-		sopts.OnCheckpoint = func(m shard.Manifest) {
-			fmt.Printf("checkpoint: shard %d/%d at %d / %d indices\n",
-				m.ShardIndex+1, m.ShardCount, m.CompletedThrough-m.RangeLo, m.RangeHi-m.RangeLo)
-		}
-	}
-	report, err := supervise.Run(ctx, n, func(p shard.Plan) (shard.Job, error) {
-		return shard.BoundJob(e, opts, p)
-	}, sopts)
-	if report != nil && report.Interrupted {
-		log.Printf("interrupted; shard checkpoints flushed under %s — rerun the same command to resume", dir)
-		os.Exit(130)
-	}
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	fmt.Printf("workload: %s\n", e)
-	var attempts int
-	for _, st := range report.Shards {
-		attempts += st.Attempts
-		for _, q := range st.Quarantined {
-			fmt.Printf("shard %s: quarantined corrupt checkpoint -> %s\n", st.Plan, q)
-		}
-	}
-	fmt.Printf("supervised %d shards in %d attempts\n", n, attempts)
-
-	curve := report.Curve
-	if report.Degraded != nil {
-		d := report.Degraded
-		curve = d.Curve
-		fmt.Printf("DEGRADED curve: covers %d of %d indices (%.2f%%); missing shards %v, incomplete %v\n",
-			d.CoveredIndices, d.Items, 100*d.CoveredFraction, d.MissingShards, d.IncompleteShards)
-	}
-	series := orojenesis.Series{Name: e.Name, Curve: curve}
-	fmt.Print(orojenesis.SummaryTable([]int64{1 << 16, 1 << 20, 1 << 24, 40 << 20}, series))
-
-	if out != "" {
-		// A degraded result is serialized only inside its annotated
-		// envelope, never as a bare curve.
-		var payload any = curve
-		if report.Degraded != nil {
-			payload = report.Degraded
-		}
-		data, err := json.Marshal(payload)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("merged curve: %d points -> %s\n", curve.Len(), out)
-	}
+// summarize renders the single-Einsum summary table for a merged or
+// spec-run curve — the Summarize hook of the shared shard runners.
+func summarize(name string, c *pareto.Curve) {
+	fmt.Print(orojenesis.SummaryTable(
+		[]int64{1 << 16, 1 << 20, 1 << 24, 40 << 20},
+		orojenesis.Series{Name: name, Curve: c}))
 }
 
 func buildWorkload(gemm, bmm, gbmm, conv, einsumExpr string) (*orojenesis.Einsum, error) {

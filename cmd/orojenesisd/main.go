@@ -7,7 +7,8 @@
 // admission control, per-request deadlines, single-flight result
 // caching, panic containment, and graceful drain (SIGTERM checkpoints
 // in-flight sharded derivations into the spool directory; a restarted
-// server resumes them). A sharded request with "allow_partial" that
+// server finishes them at startup from the spool's embedded workload
+// specs, without waiting for the requests to be re-issued). A sharded request with "allow_partial" that
 // loses shards permanently answers 206 Partial Content with a degraded
 // envelope (covered_fraction, missing_shards) instead of an error, and
 // keeps its spool as the resume point.
@@ -85,6 +86,19 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// A previous process may have died mid-derivation: every spooled
+	// sharded run leaves a spec.json beside its checkpoints, so finish
+	// those derivations now — before taking traffic — and serve them from
+	// cache. Spools without a spec (or that fail) are kept; a client
+	// re-requesting the same derivation still resumes them.
+	if *spool != "" {
+		if n, err := srv.ResumeOrphans(ctx); err != nil {
+			log.Printf("scanning spool for orphans: %v", err)
+		} else if n > 0 {
+			log.Printf("resumed %d orphaned derivation(s) from spool %q", n, *spool)
+		}
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()

@@ -14,23 +14,36 @@
 // comment lines. A degraded curve is a valid but potentially loose lower
 // bound — see docs/shard-format.md, "Failure model".
 //
+// With -resume, incomplete partials are finished in place first: each
+// format-version-2 partial embeds the workload spec its job was compiled
+// from, so shardmerge rebuilds the job from the manifest alone — no
+// orojenesis/fusionbounds invocation, no original command line — runs
+// the remaining slice, and then merges. Legacy (format version 1)
+// partials carry no spec and must be completed by the tool that wrote
+// them.
+//
 // Examples:
 //
 //	shardmerge -out curve.json part1.json part2.json part3.json part4.json
 //	shardmerge -csv part*.json > curve.csv
 //	shardmerge -allow-partial -out degraded.json part1.json part3.json
+//	shardmerge -resume -out curve.json part1.json part2.json part3.json part4.json
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/pareto"
 	"repro/internal/shape"
 	"repro/internal/shard"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -41,6 +54,8 @@ func main() {
 	csv := flag.Bool("csv", false, "emit two-column CSV instead of JSON")
 	summary := flag.Bool("summary", true, "print a merge summary to stderr")
 	allowPartial := flag.Bool("allow-partial", false, "merge an incomplete shard set into an explicitly annotated degraded curve instead of refusing")
+	resume := flag.Bool("resume", false, "complete incomplete partials in place before merging, rebuilding each job from the spec embedded in its manifest (format version 2)")
+	workers := flag.Int("workers", 0, "parallel evaluation goroutines for -resume (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	paths := flag.Args()
@@ -55,6 +70,10 @@ func main() {
 			log.Fatal(err)
 		}
 		partials[i] = p
+	}
+
+	if *resume {
+		resumeIncomplete(partials, paths, *workers, *summary)
 	}
 
 	if *allowPartial {
@@ -90,6 +109,45 @@ func main() {
 
 	if err := writeCurve(merged, *out, *csv); err != nil {
 		log.Fatal(err)
+	}
+}
+
+// resumeIncomplete finishes every incomplete partial in place: the job
+// is rebuilt from the spec embedded in the partial's own manifest (and
+// cross-checked against its digests), shard.Run completes the remaining
+// slice into the same file, and the re-read result replaces the stale
+// entry in partials. SIGINT/SIGTERM flush a final checkpoint and exit
+// resumable with status 130, like the derivation CLIs.
+func resumeIncomplete(partials []*shard.Partial, paths []string, workers int, summary bool) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	for i, p := range partials {
+		if p.Manifest.Complete() {
+			continue
+		}
+		job, _, err := workload.JobFromManifest(&p.Manifest, workload.Exec{Workers: workers})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if summary {
+			fmt.Fprintf(os.Stderr, "resuming shard %d/%d of %q at index %d of [%d, %d)\n",
+				p.Manifest.ShardIndex+1, p.Manifest.ShardCount, p.Manifest.Workload,
+				p.Manifest.CompletedThrough, p.Manifest.RangeLo, p.Manifest.RangeHi)
+		}
+		fresh, rs, err := shard.Run(ctx, job, shard.RunOptions{Path: paths[i]})
+		if err != nil {
+			if ctx.Err() != nil && fresh != nil {
+				log.Printf("interrupted at index %d; checkpoint flushed to %s — rerun the same command to resume",
+					fresh.Manifest.CompletedThrough, paths[i])
+				os.Exit(130)
+			}
+			log.Fatal(err)
+		}
+		if summary {
+			fmt.Fprintf(os.Stderr, "completed shard %d/%d: %d candidates evaluated in %v\n",
+				fresh.Manifest.ShardIndex+1, fresh.Manifest.ShardCount, rs.Evaluated, rs.Elapsed)
+		}
+		partials[i] = fresh
 	}
 }
 

@@ -1,0 +1,280 @@
+package cliutil
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/pareto"
+	"repro/internal/shard"
+	"repro/internal/supervise"
+	"repro/internal/workload"
+)
+
+// ShardFlags is the sharded-execution flag block shared by the
+// derivation CLIs (orojenesis, fusionbounds): one shard slice with
+// -shard k/N, or a whole supervised fleet with -supervise N, plus the
+// knobs both modes share. Register it with AddShardFlags; dispatch with
+// RunShard / RunSupervised.
+type ShardFlags struct {
+	// Shard is the "k/N" plan of a single-slice run ("" = off).
+	Shard string
+	// Out is the partial-frontier file of -shard (checkpoint target and
+	// final artifact), or the merged-curve JSON file of -supervise.
+	Out string
+	// Checkpoint is the per-shard checkpoint stride (0 = ~1/32 of the
+	// slice).
+	Checkpoint int64
+	// Supervise is the fleet width of a supervised run (0 = off).
+	Supervise int
+	// ShardDir is the supervised fleet's checkpoint directory.
+	ShardDir string
+	// Retries is the supervised per-shard retry budget (0 = default,
+	// negative = none).
+	Retries int
+	// AllowPartial accepts a degraded supervised merge instead of
+	// refusing when shards fail permanently.
+	AllowPartial bool
+}
+
+// AddShardFlags registers the shared shard flag block on fs. indexNoun
+// names the unit of the checkpoint stride in help text ("tiling
+// indices", "template indices").
+func AddShardFlags(fs *flag.FlagSet, indexNoun string) *ShardFlags {
+	f := &ShardFlags{}
+	fs.StringVar(&f.Shard, "shard", "", "derive only shard k/N of the index space into -out (e.g. 1/4); resumes an interrupted run from the same file")
+	fs.StringVar(&f.Out, "out", "", "partial-frontier file for -shard (checkpoint target and final artifact), or merged-curve JSON file for -supervise")
+	fs.Int64Var(&f.Checkpoint, "checkpoint", 0, indexNoun+" per checkpoint flush in -shard/-supervise mode (0 = ~1/32 of each slice)")
+	fs.IntVar(&f.Supervise, "supervise", 0, "derive all N shards under one supervisor (retry, quarantine, resumable interrupt) and merge the result")
+	fs.StringVar(&f.ShardDir, "shard-dir", "", "directory for per-shard checkpoint files in -supervise mode (required; reused on resume)")
+	fs.IntVar(&f.Retries, "retries", 0, "per-shard retry budget in -supervise mode (0 = default, negative = none)")
+	fs.BoolVar(&f.AllowPartial, "allow-partial", false, "in -supervise mode, emit an annotated degraded curve when shards fail permanently instead of refusing")
+	return f
+}
+
+// Active reports whether either sharded mode was requested.
+func (f *ShardFlags) Active() bool { return f.Supervise > 0 || f.Shard != "" }
+
+// ShardRunConfig is the per-CLI presentation of the shared shard
+// runners: the workload header line, the nouns of the progress messages,
+// and the summary renderer.
+type ShardRunConfig struct {
+	// Header is the first line of output (e.g. "workload: ...").
+	Header string
+	// IndexNoun names the checkpoint stride unit in progress messages
+	// ("indices", "template indices").
+	IndexNoun string
+	// EvalNoun names the evaluated unit ("mappings", "candidates").
+	EvalNoun string
+	// Stats enables per-checkpoint progress lines.
+	Stats bool
+	// Summarize, when non-nil, renders the merged curve's summary table
+	// after a supervised run.
+	Summarize func(*pareto.Curve)
+}
+
+// signalContext is the CLI lifetime: cancelled by SIGINT/SIGTERM so
+// shard runs flush a final checkpoint and exit resumable.
+func signalContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
+// RunShard derives one slice of the job's index space into a resumable
+// partial-frontier file (the -shard k/N -out FILE mode). SIGINT/SIGTERM
+// flush a final checkpoint and exit with status 130; rerunning the same
+// command resumes. Fatal on any other error.
+func RunShard(cfg ShardRunConfig, f *ShardFlags, mkJob func(shard.Plan) (shard.Job, error)) {
+	if f.Out == "" {
+		log.Fatal("-shard requires -out FILE for the partial frontier")
+	}
+	plan, err := shard.ParsePlan(f.Shard)
+	if err != nil {
+		log.Fatal(err)
+	}
+	job, err := mkJob(plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ropts := shard.RunOptions{Path: f.Out, CheckpointEvery: f.Checkpoint}
+	if cfg.Stats {
+		ropts.OnCheckpoint = func(m shard.Manifest) {
+			fmt.Printf("checkpoint: %d / %d %s of shard %s\n",
+				m.CompletedThrough-m.RangeLo, m.RangeHi-m.RangeLo, cfg.IndexNoun, plan)
+		}
+	}
+	ctx, stop := signalContext()
+	defer stop()
+	p, rs, err := shard.Run(ctx, job, ropts)
+	if err != nil {
+		if ctx.Err() != nil && p != nil {
+			log.Printf("interrupted at index %d of shard %s; checkpoint flushed to %s — rerun the same command to resume",
+				p.Manifest.CompletedThrough, plan, f.Out)
+			os.Exit(130)
+		}
+		log.Fatal(err)
+	}
+	lo, hi := plan.Slice(job.Items)
+	fmt.Println(cfg.Header)
+	if rs.Resumed {
+		fmt.Printf("resumed shard %s at index %d\n", plan, rs.ResumedFrom)
+	}
+	fmt.Printf("shard %s: indices [%d, %d) of %d, %d %s evaluated in %v\n",
+		plan, lo, hi, job.Items, rs.Evaluated, cfg.EvalNoun, rs.Elapsed)
+	fmt.Printf("partial frontier: %d points -> %s\n", p.Curve.Len(), f.Out)
+}
+
+// RunSupervised derives all N shards of the job's index space under one
+// supervisor (the -supervise N -shard-dir DIR mode): retried with
+// backoff on transient failures, corrupt checkpoints quarantined and
+// re-derived, SIGINT/SIGTERM resumable by rerunning. The merged curve —
+// exact, or degraded under -allow-partial — is summarized and optionally
+// written to -out.
+func RunSupervised(cfg ShardRunConfig, f *ShardFlags, mkJob func(shard.Plan) (shard.Job, error)) {
+	if f.ShardDir == "" {
+		log.Fatal("-supervise requires -shard-dir DIR for the per-shard checkpoint files")
+	}
+	if err := os.MkdirAll(f.ShardDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	ctx, stop := signalContext()
+	defer stop()
+	sopts := supervise.Options{
+		Dir:             f.ShardDir,
+		CheckpointEvery: f.Checkpoint,
+		MaxRetries:      f.Retries,
+		AllowPartial:    f.AllowPartial,
+		Logf:            log.Printf,
+	}
+	if cfg.Stats {
+		sopts.OnCheckpoint = func(m shard.Manifest) {
+			fmt.Printf("checkpoint: shard %d/%d at %d / %d %s\n",
+				m.ShardIndex+1, m.ShardCount, m.CompletedThrough-m.RangeLo, m.RangeHi-m.RangeLo, cfg.IndexNoun)
+		}
+	}
+	report, err := supervise.Run(ctx, f.Supervise, mkJob, sopts)
+	if report != nil && report.Interrupted {
+		log.Printf("interrupted; shard checkpoints flushed under %s — rerun the same command to resume", f.ShardDir)
+		os.Exit(130)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(cfg.Header)
+	var attempts int
+	for _, st := range report.Shards {
+		attempts += st.Attempts
+		for _, q := range st.Quarantined {
+			fmt.Printf("shard %s: quarantined corrupt checkpoint -> %s\n", st.Plan, q)
+		}
+	}
+	fmt.Printf("supervised %d shards in %d attempts\n", f.Supervise, attempts)
+
+	curve := report.Curve
+	if report.Degraded != nil {
+		d := report.Degraded
+		curve = d.Curve
+		fmt.Printf("DEGRADED curve: covers %d of %d indices (%.2f%%); missing shards %v, incomplete %v\n",
+			d.CoveredIndices, d.Items, 100*d.CoveredFraction, d.MissingShards, d.IncompleteShards)
+	}
+	if cfg.Summarize != nil {
+		cfg.Summarize(curve)
+	}
+
+	if f.Out != "" {
+		// A degraded result is serialized only inside its annotated
+		// envelope, never as a bare curve.
+		var payload any = curve
+		if report.Degraded != nil {
+			payload = report.Degraded
+		}
+		data, err := json.Marshal(payload)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(f.Out, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("merged curve: %d points -> %s\n", curve.Len(), f.Out)
+	}
+}
+
+// RunSpec loads a serialized workload Spec (see docs/workload-spec.md)
+// and runs it under the shared shard flags: in-process by default, one
+// shard slice with -shard, a supervised fleet with -supervise. This is
+// the -spec FILE mode of the derivation CLIs — any CLI can run any kind,
+// because everything after decoding is registry dispatch. summarize,
+// when non-nil, renders the final curve's summary table with the Spec's
+// kind as the series name.
+func RunSpec(path string, f *ShardFlags, workers int, stats bool, summarize func(name string, c *pareto.Curve)) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec, err := workload.Decode(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exec := workload.Exec{Workers: workers}
+	header := fmt.Sprintf("spec: %s (kind %s)", spec.Describe(), spec.Kind)
+	cfg := ShardRunConfig{
+		Header:    header,
+		IndexNoun: "indices",
+		EvalNoun:  "candidates",
+		Stats:     stats,
+	}
+	if summarize != nil {
+		cfg.Summarize = func(c *pareto.Curve) { summarize(string(spec.Kind), c) }
+	}
+
+	if f.Active() {
+		// Sharded modes compile shard jobs, which need derived inputs
+		// (e.g. the segmentation study's per-op curves) materialized
+		// up front so every shard — and every resume — hashes the same
+		// workload digest.
+		ctx, stop := signalContext()
+		mspec, err := spec.Materialize(ctx, exec)
+		stop()
+		if err != nil {
+			log.Fatal(err)
+		}
+		mkJob := func(p shard.Plan) (shard.Job, error) { return mspec.Compile(p, exec) }
+		if f.Supervise > 0 {
+			RunSupervised(cfg, f, mkJob)
+			return
+		}
+		RunShard(cfg, f, mkJob)
+		return
+	}
+
+	ctx, stop := signalContext()
+	defer stop()
+	res, err := spec.Run(ctx, exec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(header)
+	fmt.Printf("candidates evaluated: %d\n", res.Evaluated)
+	if len(res.Segments) > 0 {
+		fmt.Printf("segmentations: %d\n", len(res.Segments))
+	}
+	fmt.Printf("frontier: %d points\n", res.Curve.Len())
+	if cfg.Summarize != nil {
+		cfg.Summarize(res.Curve)
+	}
+	if f.Out != "" {
+		data, err := json.Marshal(res.Curve)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(f.Out, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("curve: %d points -> %s\n", res.Curve.Len(), f.Out)
+	}
+}

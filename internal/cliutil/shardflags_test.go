@@ -1,0 +1,82 @@
+package cliutil
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/bound"
+	"repro/internal/einsum"
+	"repro/internal/workload"
+)
+
+func TestAddShardFlags(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := AddShardFlags(fs, "indices")
+	if f.Active() {
+		t.Fatal("zero-value shard flags report active")
+	}
+	args := []string{
+		"-shard", "1/4", "-out", "p.json", "-checkpoint", "7",
+		"-shard-dir", "parts", "-retries", "-1", "-allow-partial",
+	}
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Active() {
+		t.Fatal("-shard did not activate sharded mode")
+	}
+	if f.Shard != "1/4" || f.Out != "p.json" || f.Checkpoint != 7 ||
+		f.ShardDir != "parts" || f.Retries != -1 || !f.AllowPartial {
+		t.Fatalf("parsed flags %+v do not match the command line", f)
+	}
+
+	fs2 := flag.NewFlagSet("test2", flag.ContinueOnError)
+	f2 := AddShardFlags(fs2, "indices")
+	if err := fs2.Parse([]string{"-supervise", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	if !f2.Active() || f2.Supervise != 3 {
+		t.Fatalf("-supervise 3 parsed as %+v", f2)
+	}
+}
+
+// TestRunSpecSupervisedRoundTrip: the -spec FILE mode drives a decoded
+// Spec through the supervised sharded path and writes the same curve an
+// in-process run of that Spec produces.
+func TestRunSpecSupervisedRoundTrip(t *testing.T) {
+	e := einsum.GEMM("gemm_16x12x8", 16, 12, 8)
+	spec := workload.NewBound(e, bound.Options{})
+	data, err := spec.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "spec.json")
+	if err := os.WriteFile(specPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "curve.json")
+	f := &ShardFlags{Supervise: 2, ShardDir: filepath.Join(dir, "parts"), Out: out}
+	RunSpec(specPath, f, 2, false, nil)
+
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := spec.Run(context.Background(), workload.Exec{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(res.Curve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bytes.TrimSpace(got), want) {
+		t.Fatalf("spec-run supervised merge differs from in-process run\n got %s\nwant %s", got, want)
+	}
+}

@@ -14,43 +14,47 @@ import (
 )
 
 // Rank is a named iteration dimension of an Einsum with a fixed shape
-// (loop extent).
+// (loop extent). The json tags define the workload-spec wire format
+// (docs/workload-spec.md); rank order is significant — it fixes the
+// enumeration order of the mapspace.
 type Rank struct {
-	Name  string
-	Shape int64
+	Name  string `json:"name"`
+	Shape int64  `json:"shape"`
 }
 
 // Term is one affine contribution to a tensor dimension: Coeff * index(Rank).
 // A convolution input width T*P + D*R has two terms: {P, T} and {R, D}.
 type Term struct {
-	Rank  string
-	Coeff int64
+	Rank  string `json:"rank"`
+	Coeff int64  `json:"coeff"`
 }
 
 // Dim is a single dimension of a tensor. Its index is either the affine sum
 // of Terms, or — when GroupDiv > 1 — floor(index(Terms[0].Rank) / GroupDiv),
 // which models the head-sharing of grouped BMM (MQA/GQA).
 type Dim struct {
-	Terms    []Term
-	GroupDiv int64 // 0 or 1 for affine dims; > 1 for grouped dims
+	Terms    []Term `json:"terms"`
+	GroupDiv int64  `json:"group_div,omitempty"` // 0 or 1 for affine dims; > 1 for grouped dims
 }
 
 // Tensor names an operand of an Einsum and describes how its dimensions
 // project from the Einsum's ranks.
 type Tensor struct {
-	Name   string
-	Dims   []Dim
-	Output bool // true for the (single) produced tensor
+	Name   string `json:"name"`
+	Dims   []Dim  `json:"dims"`
+	Output bool   `json:"output,omitempty"` // true for the (single) produced tensor
 }
 
 // Einsum is an un-mapped tensor computation. Every point in the iteration
 // space (the cross product of the rank shapes) performs one multiply-
-// accumulate.
+// accumulate. The json tags define the structural encoding used by
+// workload specs (internal/workload): unlike the textual expression
+// syntax, it round-trips the name, element size and rank order exactly.
 type Einsum struct {
-	Name        string
-	Ranks       []Rank
-	Tensors     []Tensor
-	ElementSize int64 // bytes per element (the paper reports 2-byte data)
+	Name        string   `json:"name"`
+	Ranks       []Rank   `json:"ranks"`
+	Tensors     []Tensor `json:"tensors"`
+	ElementSize int64    `json:"element_size"` // bytes per element (the paper reports 2-byte data)
 }
 
 // DefaultElementSize is the operand width used throughout the paper's

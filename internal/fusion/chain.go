@@ -22,44 +22,47 @@ import (
 	"repro/internal/shape"
 )
 
-// Op is one layer of a fusible chain.
+// Op is one layer of a fusible chain. The json tags define the chain's
+// structural encoding in workload specs (internal/workload,
+// docs/workload-spec.md).
 type Op struct {
-	Name string
+	Name string `json:"name"`
 
 	// InW and OutW are the per-row input and output widths in elements
 	// (the K and N dimensions of the layer's GEMM view).
-	InW, OutW int64
+	InW  int64 `json:"in_w"`
+	OutW int64 `json:"out_w"`
 
 	// WInst is the weight footprint in elements for one instance, and
 	// RowsPerInst the number of chain rows that share it. A plain GEMM
 	// has one instance covering all M rows (RowsPerInst == chain M);
 	// an attention BMM has one instance per sequence.
-	WInst       int64
-	RowsPerInst int64
+	WInst       int64 `json:"w_inst"`
+	RowsPerInst int64 `json:"rows_per_inst"`
 
 	// NoOutputTiling marks ops followed by a row-wise normalization
 	// (softmax, layernorm): their output row may not be tiled by the
 	// fused schedule (Sec. VII-B).
-	NoOutputTiling bool
+	NoOutputTiling bool `json:"no_output_tiling,omitempty"`
 
 	// HaloRows is the number of extra trailing input rows the op needs
 	// beyond the M0 rows it produces (sliding-window overlap of a
 	// convolution: (R-1)*dilation for stride-1 kernels). Halo rows are
 	// retained in the buffer between blocks; the chain's first op
 	// re-reads them from the backing store on every traversal.
-	HaloRows int64
+	HaloRows int64 `json:"halo_rows,omitempty"`
 
 	// Ref is the op's un-fused Einsum, used to derive its standalone
 	// ski-slope curve for the unfused baseline and for segmentation.
-	Ref *einsum.Einsum
+	Ref *einsum.Einsum `json:"ref"`
 }
 
 // Chain is a producer-consumer cascade of ops sharing the row dimension M.
 type Chain struct {
-	Name        string
-	M           int64
-	ElementSize int64
-	Ops         []Op
+	Name        string `json:"name"`
+	M           int64  `json:"m"`
+	ElementSize int64  `json:"element_size"`
+	Ops         []Op   `json:"ops"`
 }
 
 // GEMMOp builds a chain layer for a plain GEMM with k-wide input rows and

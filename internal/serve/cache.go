@@ -153,6 +153,15 @@ func (s *store) putLocked(key string, res result) {
 	}
 }
 
+// put inserts a result that was computed outside any flight — the
+// spool-orphan recovery path uses it to publish derivations it completed
+// before the server started taking traffic.
+func (s *store) put(key string, res result) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.putLocked(key, res)
+}
+
 // len reports the number of cached results.
 func (s *store) len() int {
 	s.mu.Lock()

@@ -541,6 +541,14 @@ func (s *Server) spooledDerive(d *derivation, shards int, allowPartial bool) der
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return out, err
 		}
+		// Make the spool self-describing before any shard runs: with
+		// spec.json in place, a server that dies mid-derivation leaves an
+		// orphan that ResumeOrphans can finish without ever seeing the
+		// original request. Failure to write it is logged, not fatal — the
+		// derivation itself does not depend on it.
+		if err := writeSpoolSpec(dir, d, shards); err != nil {
+			s.logf("serve: writing %s in spool %s: %v", spoolSpecFile, dir, err)
+		}
 		report, err := supervise.Run(ctx, shards, d.mkJob, supervise.Options{
 			Dir:             dir,
 			CheckpointEvery: s.cfg.CheckpointEvery,

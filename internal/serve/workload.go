@@ -2,14 +2,15 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/bound"
 	"repro/internal/einsum"
 	"repro/internal/fusion"
-	"repro/internal/multilevel"
 	"repro/internal/pareto"
 	"repro/internal/shard"
+	"repro/internal/workload"
 )
 
 // Request is the body of POST /v1/curve: exactly one workload source
@@ -75,8 +76,8 @@ type GEMMSpec struct {
 	N int64 `json:"n"`
 }
 
-// ChainSpec names a chain of producer-consumer Einsums for the
-// tiled-fusion sweep.
+// ChainSpec names a chain of producer-consumer Einsums — the shared
+// chain-workload shape of the tiled-fusion and segmentation requests.
 type ChainSpec struct {
 	// Name labels the chain; empty means "chain".
 	Name string `json:"name,omitempty"`
@@ -86,28 +87,36 @@ type ChainSpec struct {
 }
 
 // SegmentationSpec names a chain of producer-consumer Einsums for the
-// segmentation study.
-type SegmentationSpec struct {
-	// Name labels the chain; empty means "chain".
-	Name string `json:"name,omitempty"`
-	// Einsums are the chain's operations in producer order, each in the
-	// einsum expression syntax.
-	Einsums []string `json:"einsums"`
+// segmentation study. It is the same shape as ChainSpec — the alias
+// replaces a copy-pasted struct and parse loop.
+type SegmentationSpec = ChainSpec
+
+// chain parses and assembles the ChainSpec into a fusion.Chain; what
+// clarifies the errors.
+func (spec *ChainSpec) chain(what string) (*fusion.Chain, error) {
+	if len(spec.Einsums) == 0 {
+		return nil, fmt.Errorf("%s needs at least one einsum", what)
+	}
+	name := spec.Name
+	if name == "" {
+		name = "chain"
+	}
+	es := make([]*einsum.Einsum, len(spec.Einsums))
+	for i, s := range spec.Einsums {
+		e, err := einsum.Parse(s)
+		if err != nil {
+			return nil, fmt.Errorf("%s einsum %d: %w", what, i, err)
+		}
+		es[i] = e
+	}
+	return fusion.FromEinsums(name, es...)
 }
 
 // SegmentResult is one segmentation strategy's curve in the response
 // envelope (in-process segmentation runs only; sharded runs return just
-// the merged best curve).
-type SegmentResult struct {
-	// Label renders the strategy's op spans, e.g. "[0:1)[1:3)".
-	Label string `json:"label"`
-	// Cuts are the first op indices of every segment after the first.
-	Cuts []int `json:"cuts,omitempty"`
-	// Points is the number of frontier breakpoints in Curve.
-	Points int `json:"points"`
-	// Curve is the strategy's frontier.
-	Curve *pareto.Curve `json:"curve"`
-}
+// the merged best curve). It is the workload package's Segment type, so
+// the engine's output serializes into the envelope unchanged.
+type SegmentResult = workload.Segment
 
 // MultiLevelSpec selects the three-level derivation.
 type MultiLevelSpec struct {
@@ -156,6 +165,13 @@ type derivation struct {
 	run    deriveFn
 	mkJob  func(shard.Plan) (shard.Job, error)
 
+	// spec is the request's workload spec; mspec is its materialized
+	// form (filled by prepare; identical to spec when nothing needed
+	// deriving). The spooled path persists mspec as the spool's
+	// spec.json, which is why mkJob and run read mspec, never spec.
+	spec  *workload.Spec
+	mspec *workload.Spec
+
 	// prepare, when non-nil, derives the derivation's inputs (e.g. the
 	// segmentation study's per-op curves) under the flight context before
 	// run or mkJob is used. It runs inside the flight — after admission,
@@ -167,6 +183,17 @@ type derivation struct {
 // buildDerivation validates the request's workload and compiles it into
 // a derivation. Errors are client errors (400 invalid_workload).
 func buildDerivation(req *Request, workers int) (*derivation, error) {
+	spec, err := specFromRequest(req)
+	if err != nil {
+		return nil, err
+	}
+	return derivationFromSpec(spec, workers)
+}
+
+// specFromRequest translates the HTTP request into the workload Spec the
+// engine registry compiles — the only remaining per-source code; every
+// derivation path below this point is registry dispatch.
+func specFromRequest(req *Request) (*workload.Spec, error) {
 	sources := 0
 	if req.Einsum != "" {
 		sources++
@@ -192,9 +219,17 @@ func buildDerivation(req *Request, workers int) (*derivation, error) {
 			return nil, fmt.Errorf("options apply to single-Einsum bound derivations, not chains")
 		}
 		if req.Chain != nil {
-			return buildChainDerivation(req.Chain, workers)
+			c, err := req.Chain.chain("chain")
+			if err != nil {
+				return nil, err
+			}
+			return workload.NewFusionTiled(c), nil
 		}
-		return buildSegmentationDerivation(req.Segmentation, workers)
+		c, err := req.Segmentation.chain("segmentation")
+		if err != nil {
+			return nil, err
+		}
+		return workload.NewSegmentation(c, nil), nil
 	}
 
 	var e *einsum.Einsum
@@ -225,196 +260,80 @@ func buildDerivation(req *Request, workers int) (*derivation, error) {
 		if req.Options != (OptionsSpec{}) {
 			return nil, fmt.Errorf("options apply to the two-level bound, not multilevel derivations")
 		}
-		return buildMultiLevelDerivation(e, req.MultiLevel.L1CapBytes, workers)
+		return workload.NewMultiLevel(e, req.MultiLevel.L1CapBytes), nil
 	}
-	return buildBoundDerivation(e, req.Options, workers)
+	return workload.NewBound(e, bound.Options{
+		ImperfectExtra: req.Options.ImperfectExtra,
+		ChargeSpills:   req.Options.ChargeSpills,
+	}), nil
 }
 
-// buildBoundDerivation compiles a two-level bound derivation.
-func buildBoundDerivation(e *einsum.Einsum, spec OptionsSpec, workers int) (*derivation, error) {
-	opts := bound.Options{
-		Workers:        workers,
-		ImperfectExtra: spec.ImperfectExtra,
-		ChargeSpills:   spec.ChargeSpills,
+// serveIdentity returns the digests that key the cache, the single
+// flight, and the spool directory. For every kind except segmentation
+// these are exactly the shard-job digests (the Spec's canonical
+// digests). Segmentation is the documented exception: its shard jobs
+// hash the per-op input curves into the workload digest
+// (shard.SegmentationCanonical), but those curves are derived inside the
+// flight — after the identity must already exist — so the serve identity
+// hashes only the chain. The divergence is sound because the per-op
+// curves are a pure function of the chain (derived with default bound
+// options): equal chains always yield equal shard digests, so partials
+// under one spool digest still merge. Pinned by the cross-layer identity
+// test in identity_test.go.
+func serveIdentity(spec *workload.Spec) (workloadDigest, optionsDigest string, err error) {
+	if spec.Kind == shard.KindSegmentation {
+		return shard.Digest(spec.Chain.Canonical()), shard.Digest("segmentation{}"), nil
 	}
-	if err := opts.Validate(); err != nil {
+	return spec.Digests()
+}
+
+// derivationFromSpec compiles a validated Spec into a derivation through
+// the engine registry: identity from the canonical encodings, in-process
+// run and shard-job constructor from the Spec's engine, and — for Specs
+// with underived inputs — a prepare hook that materializes them under
+// the flight context.
+func derivationFromSpec(spec *workload.Spec, workers int) (*derivation, error) {
+	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	d := newDerivation(shard.KindBound, e.String(),
-		shard.Digest(e.Canonical()), shard.Digest(opts.Canonical()))
-	d.space = bound.Space(e, opts)
-	d.run = func(ctx context.Context) (deriveOut, error) {
-		r, err := bound.DeriveRange(ctx, e, opts, 0, d.space)
-		if err != nil {
-			return deriveOut{}, err
-		}
-		return deriveOut{curve: r.Curve, evaluated: r.Stats.MappingsEvaluated}, nil
-	}
-	d.mkJob = func(plan shard.Plan) (shard.Job, error) {
-		return shard.BoundJob(e, opts, plan)
-	}
-	return d, nil
-}
-
-// buildMultiLevelDerivation compiles a three-level derivation; the
-// served curve is the DRAM frontier (the same projection the sharded
-// partial-frontier format stores).
-func buildMultiLevelDerivation(e *einsum.Einsum, l1CapBytes int64, workers int) (*derivation, error) {
-	if l1CapBytes < 1 {
-		return nil, fmt.Errorf("multilevel l1_cap_bytes %d, want >= 1", l1CapBytes)
-	}
-	opts := multilevel.Options{Workers: workers}
-	space, err := multilevel.Space(e)
+	wd, od, err := serveIdentity(spec)
 	if err != nil {
 		return nil, err
 	}
-	d := newDerivation(shard.KindMultiLevel,
-		fmt.Sprintf("%s three-level L1=%dB", e.String(), l1CapBytes),
-		shard.Digest(e.Canonical()), shard.Digest(shard.MultiLevelCanonical(l1CapBytes)))
-	d.space = space
-	d.run = func(ctx context.Context) (deriveOut, error) {
-		r, err := multilevel.DeriveRange(ctx, e, l1CapBytes, 0, space, opts)
-		if err != nil {
-			return deriveOut{}, err
-		}
-		return deriveOut{curve: r.DRAM, evaluated: r.Mappings}, nil
-	}
-	d.mkJob = func(plan shard.Plan) (shard.Job, error) {
-		return shard.MultiLevelJob(e, l1CapBytes, opts, plan)
-	}
-	return d, nil
-}
-
-// buildChainDerivation compiles a tiled-fusion sweep over a chain.
-func buildChainDerivation(spec *ChainSpec, workers int) (*derivation, error) {
-	if len(spec.Einsums) == 0 {
-		return nil, fmt.Errorf("chain needs at least one einsum")
-	}
-	name := spec.Name
-	if name == "" {
-		name = "chain"
-	}
-	es := make([]*einsum.Einsum, len(spec.Einsums))
-	for i, s := range spec.Einsums {
-		e, err := einsum.Parse(s)
-		if err != nil {
-			return nil, fmt.Errorf("chain einsum %d: %w", i, err)
-		}
-		es[i] = e
-	}
-	c, err := fusion.FromEinsums(name, es...)
+	space, err := spec.Space()
 	if err != nil {
 		return nil, err
 	}
-	space, err := fusion.TiledFusionSpace(c)
-	if err != nil {
-		return nil, err
-	}
-	d := newDerivation(shard.KindFusionTiled,
-		fmt.Sprintf("%s: %d ops over M=%d", c.Name, len(c.Ops), c.M),
-		shard.Digest(c.Canonical()), shard.Digest("fusion-tiled{}"))
-	d.space = space
-	d.run = func(ctx context.Context) (deriveOut, error) {
-		curve, ts, err := fusion.TiledFusionRange(ctx, c, 0, space, workers)
-		if err != nil {
-			return deriveOut{}, err
-		}
-		return deriveOut{curve: curve, evaluated: ts.Evaluated}, nil
-	}
-	d.mkJob = func(plan shard.Plan) (shard.Job, error) {
-		return shard.FusionTiledJob(c, plan, workers)
-	}
-	return d, nil
-}
-
-// buildSegmentationDerivation compiles a segmentation study over a chain.
-// The study's inputs — each op's standalone ski-slope curve — are
-// themselves derivations, so they run in the prepare hook under the
-// flight context rather than in the request handler. They are derived
-// with default bound options, which have no result-affecting fields set,
-// so the identity (and hence the spool directory of a sharded run) is a
-// pure function of the chain and stays stable across server restarts.
-func buildSegmentationDerivation(spec *SegmentationSpec, workers int) (*derivation, error) {
-	if len(spec.Einsums) == 0 {
-		return nil, fmt.Errorf("segmentation needs at least one einsum")
-	}
-	name := spec.Name
-	if name == "" {
-		name = "chain"
-	}
-	es := make([]*einsum.Einsum, len(spec.Einsums))
-	for i, s := range spec.Einsums {
-		e, err := einsum.Parse(s)
-		if err != nil {
-			return nil, fmt.Errorf("segmentation einsum %d: %w", i, err)
-		}
-		es[i] = e
-	}
-	c, err := fusion.FromEinsums(name, es...)
-	if err != nil {
-		return nil, err
-	}
-	space, err := fusion.SegmentationSpace(c)
-	if err != nil {
-		return nil, err
-	}
-	d := newDerivation(shard.KindSegmentation,
-		fmt.Sprintf("%s: %d-op segmentation study over M=%d", c.Name, len(c.Ops), c.M),
-		shard.Digest(c.Canonical()), shard.Digest("segmentation{}"))
-	d.space = space
-
-	opts := bound.Options{Workers: workers}
-	var perOp []*pareto.Curve
-	d.prepare = func(ctx context.Context) error {
-		curves := make([]*pareto.Curve, len(c.Ops))
-		for i := range c.Ops {
-			e := c.Ops[i].Ref
-			r, err := bound.DeriveRange(ctx, e, opts, 0, bound.Space(e, opts))
-			if err != nil {
-				return fmt.Errorf("per-op curve %d (%s): %w", i, e.String(), err)
-			}
-			curves[i] = r.Curve
-		}
-		perOp = curves
-		return nil
-	}
-	d.run = func(ctx context.Context) (deriveOut, error) {
-		study, ts, err := fusion.SegmentationStudyContext(ctx, c, perOp, workers)
-		if err != nil {
-			return deriveOut{}, err
-		}
-		curves := make([]*pareto.Curve, len(study))
-		segments := make([]SegmentResult, len(study))
-		for i, sr := range study {
-			curves[i] = sr.Curve
-			segments[i] = SegmentResult{
-				Label:  sr.Label,
-				Cuts:   sr.Segmentation.Cuts,
-				Points: sr.Curve.Len(),
-				Curve:  sr.Curve,
-			}
-		}
-		best := pareto.MergeMin(curves...)
-		best.AlgoMinBytes = c.FusedAlgoMinBytes()
-		best.TotalOperandBytes = c.UnfusedAlgoMinBytes()
-		return deriveOut{curve: best, evaluated: ts.Evaluated, segments: segments}, nil
-	}
-	d.mkJob = func(plan shard.Plan) (shard.Job, error) {
-		return shard.SegmentationJob(c, perOp, plan, workers)
-	}
-	return d, nil
-}
-
-// newDerivation assembles the identity fields: the single-flight/cache
-// key concatenates kind and both canonical digests, and the response
-// digest hashes the key into one stable identifier (also the spool
-// subdirectory name for sharded runs).
-func newDerivation(kind shard.Kind, label, workloadDigest, optionsDigest string) *derivation {
-	key := string(kind) + "|" + workloadDigest + "|" + optionsDigest
-	return &derivation{
-		kind:   kind,
-		label:  label,
+	key := string(spec.Kind) + "|" + wd + "|" + od
+	d := &derivation{
+		kind:   spec.Kind,
+		label:  spec.Describe(),
 		key:    key,
 		digest: shard.Digest(key),
+		space:  space,
+		spec:   spec,
+		mspec:  spec,
 	}
+	exec := workload.Exec{Workers: workers}
+	if _, _, err := spec.Digests(); errors.Is(err, workload.ErrUnmaterialized) {
+		d.prepare = func(ctx context.Context) error {
+			m, merr := spec.Materialize(ctx, exec)
+			if merr != nil {
+				return merr
+			}
+			d.mspec = m
+			return nil
+		}
+	}
+	d.run = func(ctx context.Context) (deriveOut, error) {
+		r, err := d.mspec.Run(ctx, exec)
+		if err != nil {
+			return deriveOut{}, err
+		}
+		return deriveOut{curve: r.Curve, evaluated: r.Evaluated, segments: r.Segments}, nil
+	}
+	d.mkJob = func(plan shard.Plan) (shard.Job, error) {
+		return d.mspec.Compile(plan, exec)
+	}
+	return d, nil
 }

@@ -29,10 +29,16 @@ var (
 	ErrForeignPartial = errors.New("foreign partial frontier")
 )
 
-// FormatVersion is the partial-frontier file schema version. It changes
-// only when the JSON layout changes incompatibly; readers refuse files
-// with a different version.
-const FormatVersion = 1
+// FormatVersion is the partial-frontier file schema version written by
+// this package. Version 2 added the embedded workload spec (the Spec
+// manifest field); version-1 files — identical except for that field —
+// are still readable, and Run transparently upgrades them on resume.
+// Readers refuse versions outside [MinFormatVersion, FormatVersion].
+const FormatVersion = 2
+
+// MinFormatVersion is the oldest partial-frontier schema this package
+// still reads: version 1, the pre-spec layout.
+const MinFormatVersion = 1
 
 // Engine tags the derivation engine revision. Bump it whenever an
 // evaluator or enumeration-order change alters derived curves, so stale
@@ -91,6 +97,14 @@ type Manifest struct {
 	// index in [RangeLo, CompletedThrough) is reflected in the stored
 	// curve. A shard is complete when CompletedThrough == RangeHi.
 	CompletedThrough int64 `json:"completed_through"`
+
+	// Spec is the canonically encoded workload spec
+	// (internal/workload.Spec) the job was compiled from, carried so a
+	// partial frontier alone suffices to rebuild and finish its job in a
+	// process that never saw the original request (shardmerge -resume,
+	// spool-orphan recovery). Empty on format-version-1 files; never part
+	// of compatibility decisions — the digests are authoritative.
+	Spec json.RawMessage `json:"spec,omitempty"`
 }
 
 // Complete reports whether the shard finished its whole slice.
@@ -100,8 +114,9 @@ func (m *Manifest) Complete() bool { return m.CompletedThrough >= m.RangeHi }
 // compatibility question arises): unknown versions, inverted ranges, or a
 // range that disagrees with the shard plan.
 func (m *Manifest) Validate() error {
-	if m.FormatVersion != FormatVersion {
-		return fmt.Errorf("shard: manifest format version %d, this reader supports %d", m.FormatVersion, FormatVersion)
+	if m.FormatVersion < MinFormatVersion || m.FormatVersion > FormatVersion {
+		return fmt.Errorf("shard: manifest format version %d, this reader supports %d through %d",
+			m.FormatVersion, MinFormatVersion, FormatVersion)
 	}
 	if m.Engine == "" {
 		return fmt.Errorf("shard: manifest missing engine version")
@@ -131,14 +146,15 @@ func (m *Manifest) Validate() error {
 }
 
 // CompatibleWith reports with a descriptive error why two manifests do not
-// describe shares of one derivation: any difference in schema, engine,
-// kind, digests, index-space size or shard count. Shard index and
-// completion state are deliberately not compared — distinct shards of one
-// plan are exactly what merges want.
+// describe shares of one derivation: any difference in engine, kind,
+// digests, index-space size or shard count. Shard index and completion
+// state are deliberately not compared — distinct shards of one plan are
+// exactly what merges want. Format version is not compared either: both
+// manifests already passed Validate's supported-version check, and the
+// supported versions differ only in the informational Spec field, so a
+// legacy version-1 shard merges cleanly with an upgraded version-2 one.
 func (m *Manifest) CompatibleWith(o *Manifest) error {
 	switch {
-	case m.FormatVersion != o.FormatVersion:
-		return fmt.Errorf("format version %d vs %d", m.FormatVersion, o.FormatVersion)
 	case m.Engine != o.Engine:
 		return fmt.Errorf("engine %q vs %q", m.Engine, o.Engine)
 	case m.Kind != o.Kind:

@@ -2,6 +2,7 @@ package shard
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io/fs"
@@ -43,6 +44,13 @@ type Job struct {
 	Items int64
 	Plan  Plan
 
+	// Spec, when non-empty, is the canonically encoded workload spec
+	// (internal/workload.Encode) this job was compiled from. Run persists
+	// it in every checkpoint's manifest so the partial frontier alone can
+	// rebuild the job in another process. Purely informational for this
+	// package: identity stays with the digests.
+	Spec json.RawMessage
+
 	Derive DeriveFunc
 }
 
@@ -80,7 +88,10 @@ type RunStats struct {
 // each block, and returns the final partial. If opts.Path already holds a
 // partial of the same derivation and shard, the run resumes at its
 // completed-through mark — the restart path for a killed shard; a partial
-// of a different derivation is an error, never silently overwritten.
+// of a different derivation is an error, never silently overwritten. A
+// legacy format-version-1 checkpoint resumes like any other and is
+// upgraded in place: the first flush rewrites it at the current
+// FormatVersion with the job's Spec embedded.
 // Stale temp files a killed predecessor left next to opts.Path are swept
 // on startup.
 //
@@ -123,6 +134,7 @@ func Run(ctx context.Context, job Job, opts RunOptions) (*Partial, RunStats, err
 		RangeLo:          lo,
 		RangeHi:          hi,
 		CompletedThrough: lo,
+		Spec:             job.Spec,
 	}
 	if err := m.Validate(); err != nil {
 		return nil, stats, err

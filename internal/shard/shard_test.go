@@ -3,6 +3,7 @@ package shard
 import (
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -123,19 +124,50 @@ func TestManifestCompatibility(t *testing.T) {
 		t.Fatalf("sibling shards reported incompatible: %v", err)
 	}
 	for name, breakIt := range map[string]func(*Manifest){
-		"engine":         func(m *Manifest) { m.Engine = "orojenesis/0" },
-		"kind":           func(m *Manifest) { m.Kind = KindFusionTiled },
-		"workload":       func(m *Manifest) { m.WorkloadDigest = Digest("other") },
-		"options":        func(m *Manifest) { m.OptionsDigest = Digest("other") },
-		"items":          func(m *Manifest) { m.Items = 11 },
-		"count":          func(m *Manifest) { m.ShardCount = 3 },
-		"format version": func(m *Manifest) { m.FormatVersion = 2 },
+		"engine":   func(m *Manifest) { m.Engine = "orojenesis/0" },
+		"kind":     func(m *Manifest) { m.Kind = KindFusionTiled },
+		"workload": func(m *Manifest) { m.WorkloadDigest = Digest("other") },
+		"options":  func(m *Manifest) { m.OptionsDigest = Digest("other") },
+		"items":    func(m *Manifest) { m.Items = 11 },
+		"count":    func(m *Manifest) { m.ShardCount = 3 },
 	} {
 		b := testManifest()
 		breakIt(&b)
 		if err := a.CompatibleWith(&b); err == nil {
 			t.Errorf("incompatible manifests (%s differ) accepted", name)
 		}
+	}
+}
+
+// TestLegacyFormatVersionStillReads pins backward compatibility with
+// format-version-1 partials (pre-spec layout): they validate, merge with
+// each other, and merge with an upgraded version-2 sibling.
+func TestLegacyFormatVersionStillReads(t *testing.T) {
+	mk := func(k int, version int) *Partial {
+		m := testManifest()
+		m.FormatVersion = version
+		m.ShardIndex, m.ShardCount = k, 2
+		m.RangeLo, m.RangeHi = (Plan{k, 2}).Slice(m.Items)
+		m.CompletedThrough = m.RangeHi
+		if version >= 2 {
+			m.Spec = []byte(`{"kind":"bound"}`)
+		}
+		return &Partial{Manifest: m, Curve: pareto.FromPoints([]pareto.Point{{BufferBytes: 1, AccessBytes: 1}})}
+	}
+	v1a, v1b := mk(0, 1), mk(1, 1)
+	if err := v1a.Manifest.Validate(); err != nil {
+		t.Fatalf("version-1 manifest rejected: %v", err)
+	}
+	if _, err := Merge(v1a, v1b); err != nil {
+		t.Fatalf("version-1 partials refuse to merge: %v", err)
+	}
+	if _, err := Merge(v1a, mk(1, 2)); err != nil {
+		t.Fatalf("mixed version-1/version-2 partials refuse to merge: %v", err)
+	}
+	future := mk(0, 1)
+	future.Manifest.FormatVersion = FormatVersion + 1
+	if err := future.Manifest.Validate(); err == nil {
+		t.Fatal("future format version accepted")
 	}
 }
 
@@ -153,7 +185,7 @@ func TestPartialRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Manifest != p.Manifest {
+	if !reflect.DeepEqual(got.Manifest, p.Manifest) {
 		t.Fatalf("manifest round trip: got %+v, want %+v", got.Manifest, p.Manifest)
 	}
 	if got.Curve.Len() != 2 || got.Curve.AlgoMinBytes != 40 || got.Curve.TotalOperandBytes != 60 {

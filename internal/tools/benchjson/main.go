@@ -11,6 +11,17 @@
 // allocs/op as well as any custom b.ReportMetric units. Non-benchmark
 // lines (PASS, ok, goos/goarch headers) are ignored, so the tool can be
 // fed the raw `go test` stream.
+//
+// With -delta, benchjson instead compares two previously written
+// artifacts and prints a per-benchmark ns/op report, flagging increases
+// past -threshold percent as regressions:
+//
+//	go run ./internal/tools/benchjson -delta BENCH_PR6.json BENCH_PR7.json
+//
+// The delta report is informational (exit 0 either way): CI artifacts
+// are single-iteration smoke runs whose noise would make a hard gate
+// flap, so the report's job is to make regressions visible in the log,
+// not to block the build.
 package main
 
 import (
@@ -49,7 +60,19 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 	out := flag.String("out", "", "output file (empty = stdout)")
+	delta := flag.Bool("delta", false, "compare two artifacts (OLD.json NEW.json) instead of parsing a bench stream")
+	threshold := flag.Float64("threshold", 10, "percent ns/op increase flagged as a regression in -delta mode")
 	flag.Parse()
+
+	if *delta {
+		if flag.NArg() != 2 {
+			log.Fatal("usage: benchjson -delta OLD.json NEW.json")
+		}
+		if err := runDelta(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	report, err := parse(os.Stdin)
 	if err != nil {
@@ -68,6 +91,74 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks -> %s\n", len(report.Benchmarks), *out)
+}
+
+// runDelta loads two artifacts and prints the ns/op movement of every
+// benchmark they share, plus the benchmarks only one side has. An
+// increase past threshold percent is marked REGRESSION; the function
+// still returns nil, because smoke-run artifacts are too noisy to gate
+// the build on — the mark is for the CI log reader.
+func runDelta(w io.Writer, oldPath, newPath string, threshold float64) error {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		return err
+	}
+	oldBy := make(map[string]Benchmark, len(oldRep.Benchmarks))
+	for _, b := range oldRep.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	fmt.Fprintf(w, "benchmark delta: %s -> %s (regression threshold %+.0f%% ns/op)\n",
+		oldPath, newPath, threshold)
+	regressions := 0
+	seen := make(map[string]bool, len(newRep.Benchmarks))
+	for _, nb := range newRep.Benchmarks {
+		seen[nb.Name] = true
+		ob, ok := oldBy[nb.Name]
+		if !ok {
+			fmt.Fprintf(w, "  %-40s %12s -> %12.1f ns/op  (new)\n", nb.Name, "-", nb.Metrics["ns/op"])
+			continue
+		}
+		oldNs, newNs := ob.Metrics["ns/op"], nb.Metrics["ns/op"]
+		if oldNs <= 0 || newNs <= 0 {
+			fmt.Fprintf(w, "  %-40s no ns/op metric on one side\n", nb.Name)
+			continue
+		}
+		pct := 100 * (newNs - oldNs) / oldNs
+		mark := ""
+		if pct > threshold {
+			mark = "  REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(w, "  %-40s %12.1f -> %12.1f ns/op  %+7.1f%%%s\n", nb.Name, oldNs, newNs, pct, mark)
+	}
+	for _, ob := range oldRep.Benchmarks {
+		if !seen[ob.Name] {
+			fmt.Fprintf(w, "  %-40s %12.1f -> %12s ns/op  (removed)\n", ob.Name, ob.Metrics["ns/op"], "-")
+		}
+	}
+	if regressions > 0 {
+		fmt.Fprintf(w, "benchjson: %d regression(s) past %+.0f%% — inspect before merging\n", regressions, threshold)
+	} else {
+		fmt.Fprintf(w, "benchjson: no regressions past %+.0f%%\n", threshold)
+	}
+	return nil
+}
+
+// loadReport reads an artifact previously written by benchjson.
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &r, nil
 }
 
 // parse scans a `go test -bench` stream and collects every result line.

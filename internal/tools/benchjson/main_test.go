@@ -1,6 +1,10 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -59,5 +63,53 @@ func TestParseLineNoProcsSuffix(t *testing.T) {
 	}
 	if b.Name != "Solo" || b.Procs != 0 || b.Iterations != 5 {
 		t.Fatalf("parsed %+v", b)
+	}
+}
+
+// TestRunDelta: the artifact-comparison mode reports per-benchmark
+// ns/op movement, marks increases past the threshold as regressions,
+// and lists benchmarks present on only one side.
+func TestRunDelta(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	write := func(path string, r *Report) {
+		data, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(oldPath, &Report{Benchmarks: []Benchmark{
+		{Name: "Stable", Iterations: 10, Metrics: map[string]float64{"ns/op": 1000}},
+		{Name: "Slower", Iterations: 10, Metrics: map[string]float64{"ns/op": 1000}},
+		{Name: "Removed", Iterations: 10, Metrics: map[string]float64{"ns/op": 500}},
+	}})
+	write(newPath, &Report{Benchmarks: []Benchmark{
+		{Name: "Stable", Iterations: 10, Metrics: map[string]float64{"ns/op": 1020}},
+		{Name: "Slower", Iterations: 10, Metrics: map[string]float64{"ns/op": 1500}},
+		{Name: "Added", Iterations: 10, Metrics: map[string]float64{"ns/op": 42}},
+	}})
+
+	var buf bytes.Buffer
+	if err := runDelta(&buf, oldPath, newPath, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Slower", "REGRESSION", "1 regression(s)",
+		"(new)", "(removed)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("delta report missing %q:\n%s", want, out)
+		}
+	}
+	// A +2% move under the 10% threshold is not a regression.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "Stable") && strings.Contains(line, "REGRESSION") {
+			t.Fatalf("sub-threshold benchmark flagged: %s", line)
+		}
 	}
 }

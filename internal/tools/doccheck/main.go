@@ -6,8 +6,9 @@
 //     a package doc comment, so each package states which paper section
 //     or figure it reproduces.
 //  2. Every exported top-level identifier in the core packages — pareto,
-//     traverse, bound, shard, supervise — has a doc comment. A group
-//     comment on a const/var block covers the whole block.
+//     traverse, bound, shard, supervise, serve, workload — has a doc
+//     comment. A group comment on a const/var block covers the whole
+//     block.
 //
 // Usage (from the module root, as `make docs` does):
 //
@@ -34,6 +35,7 @@ var strictDirs = map[string]bool{
 	"internal/shard":     true,
 	"internal/supervise": true,
 	"internal/serve":     true,
+	"internal/workload":  true,
 }
 
 func main() {

@@ -1,0 +1,531 @@
+package workload
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/bound"
+	"repro/internal/fusion"
+	"repro/internal/multilevel"
+	"repro/internal/pareto"
+	"repro/internal/shard"
+)
+
+// Engine implements one derivation path over Specs. Engines are
+// stateless; everything result-affecting is in the Spec and everything
+// execution-tuning is in Exec, so the same Spec compiled by any engine
+// instance anywhere yields merge-compatible shard jobs.
+type Engine interface {
+	// Validate checks that the Spec is complete and well-formed for this
+	// engine: the right workload field set, no fields of other kinds,
+	// and structurally valid workload/options.
+	Validate(s *Spec) error
+
+	// Canonical returns the Spec's canonical workload and options
+	// encodings — the strings the shard digests hash. It returns
+	// ErrUnmaterialized when the encodings depend on derived inputs the
+	// Spec does not carry yet (segmentation per-op curves).
+	Canonical(s *Spec) (workload, options string, err error)
+
+	// Describe renders the human-readable workload label — the same
+	// string the compiled job stamps into manifests and the serve layer
+	// reports as the response's workload field. Informational only;
+	// identity lives in Canonical.
+	Describe(s *Spec) string
+
+	// Space returns the size of the flat enumeration space shard plans
+	// slice.
+	Space(s *Spec) (int64, error)
+
+	// Materialize derives any inputs the Spec needs before it can be
+	// compiled (the segmentation study's per-op curves), returning a
+	// Spec that carries them. Specs that need nothing are returned
+	// unchanged; an already materialized Spec is never re-derived.
+	Materialize(ctx context.Context, s *Spec, exec Exec) (*Spec, error)
+
+	// Compile builds the shard job for one plan slice of the Spec's
+	// space, with the canonically encoded Spec embedded so every
+	// checkpoint manifest can rebuild the job (JobFromManifest).
+	Compile(s *Spec, plan shard.Plan, exec Exec) (shard.Job, error)
+
+	// Run derives the Spec's full space in-process.
+	Run(ctx context.Context, s *Spec, exec Exec) (*Result, error)
+}
+
+// Result is what an in-process Run produces: the frontier, the number of
+// index-space points evaluated, and — for segmentation studies only —
+// the per-strategy curves.
+type Result struct {
+	// Curve is the derived frontier (the DRAM curve for multilevel, the
+	// capacity-wise best curve for segmentation).
+	Curve *pareto.Curve
+	// Evaluated counts the enumeration indices evaluated.
+	Evaluated int64
+	// Segments holds one entry per segmentation strategy, in mask order;
+	// nil for every other kind.
+	Segments []Segment
+}
+
+// Segment is one segmentation strategy's curve. The JSON layout is the
+// serve response envelope's segment entry (internal/serve aliases its
+// SegmentResult to this type), so in-process and served segmentation
+// studies render identically.
+type Segment struct {
+	// Label renders the strategy's op spans, e.g. "[0:1)[1:3)".
+	Label string `json:"label"`
+	// Cuts are the first op indices of every segment after the first.
+	Cuts []int `json:"cuts,omitempty"`
+	// Points is the number of frontier breakpoints in Curve.
+	Points int `json:"points"`
+	// Curve is the strategy's frontier.
+	Curve *pareto.Curve `json:"curve"`
+}
+
+// Registry maps derivation kinds to engines. The zero value is empty;
+// Default holds the four paper engines. New derivation paths plug in
+// with one Register call instead of per-layer wiring.
+type Registry struct {
+	engines map[shard.Kind]Engine
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{engines: map[shard.Kind]Engine{}}
+}
+
+// Register adds an engine for kind, rejecting duplicates.
+func (r *Registry) Register(kind shard.Kind, e Engine) error {
+	if r.engines == nil {
+		r.engines = map[shard.Kind]Engine{}
+	}
+	if _, dup := r.engines[kind]; dup {
+		return fmt.Errorf("workload: kind %q registered twice", kind)
+	}
+	r.engines[kind] = e
+	return nil
+}
+
+// Lookup returns the engine for kind, or an error naming the kind and
+// the registered alternatives.
+func (r *Registry) Lookup(kind shard.Kind) (Engine, error) {
+	if e, ok := r.engines[kind]; ok {
+		return e, nil
+	}
+	return nil, fmt.Errorf("workload: unknown kind %q (registered: %v)", kind, r.Kinds())
+}
+
+// Kinds returns the registered kinds in sorted order.
+func (r *Registry) Kinds() []shard.Kind {
+	ks := make([]shard.Kind, 0, len(r.engines))
+	for k := range r.engines {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}
+
+// Default is the registry holding the paper's four derivation engines.
+var Default = func() *Registry {
+	r := NewRegistry()
+	for kind, e := range map[shard.Kind]Engine{
+		shard.KindBound:        boundEngine{},
+		shard.KindMultiLevel:   multiLevelEngine{},
+		shard.KindFusionTiled:  fusionTiledEngine{},
+		shard.KindSegmentation: segmentationEngine{},
+	} {
+		if err := r.Register(kind, e); err != nil {
+			panic(err)
+		}
+	}
+	return r
+}()
+
+// Lookup is Default.Lookup.
+func Lookup(kind shard.Kind) (Engine, error) { return Default.Lookup(kind) }
+
+// Describe renders the Spec's human-readable workload label through its
+// engine in the default registry ("<unknown kind>" when unregistered).
+func (s *Spec) Describe() string {
+	eng, err := Lookup(s.Kind)
+	if err != nil {
+		return fmt.Sprintf("<unknown kind %q>", s.Kind)
+	}
+	return eng.Describe(s)
+}
+
+// Materialize derives the Spec's missing inputs through its engine in
+// the default registry.
+func (s *Spec) Materialize(ctx context.Context, exec Exec) (*Spec, error) {
+	eng, err := Lookup(s.Kind)
+	if err != nil {
+		return nil, err
+	}
+	return eng.Materialize(ctx, s, exec)
+}
+
+// Compile builds the Spec's shard job for one plan slice through its
+// engine in the default registry.
+func (s *Spec) Compile(plan shard.Plan, exec Exec) (shard.Job, error) {
+	eng, err := Lookup(s.Kind)
+	if err != nil {
+		return shard.Job{}, err
+	}
+	return eng.Compile(s, plan, exec)
+}
+
+// Run derives the Spec's full space in-process through its engine in the
+// default registry.
+func (s *Spec) Run(ctx context.Context, exec Exec) (*Result, error) {
+	eng, err := Lookup(s.Kind)
+	if err != nil {
+		return nil, err
+	}
+	return eng.Run(ctx, s, exec)
+}
+
+// withSpec embeds the canonical Spec encoding into a compiled job so
+// every checkpoint manifest carries it.
+func withSpec(s *Spec, job shard.Job, err error) (shard.Job, error) {
+	if err != nil {
+		return shard.Job{}, err
+	}
+	enc, err := s.Encode()
+	if err != nil {
+		return shard.Job{}, err
+	}
+	job.Spec = enc
+	return job, nil
+}
+
+// requireOnly rejects Spec fields that do not belong to the kind under
+// validation, so a bound Spec with a stray chain (or vice versa) fails
+// loudly instead of being silently ignored.
+func requireOnly(s *Spec, einsumOK, chainOK, boundOK, multiLevelOK, perOpOK bool) error {
+	if !einsumOK && s.Einsum != nil {
+		return fmt.Errorf("workload: kind %q does not take an einsum", s.Kind)
+	}
+	if !chainOK && s.Chain != nil {
+		return fmt.Errorf("workload: kind %q does not take a chain", s.Kind)
+	}
+	if !boundOK && s.Bound != nil {
+		return fmt.Errorf("workload: kind %q does not take bound options", s.Kind)
+	}
+	if !multiLevelOK && s.MultiLevel != nil {
+		return fmt.Errorf("workload: kind %q does not take multilevel options", s.Kind)
+	}
+	if !perOpOK && s.PerOp != nil {
+		return fmt.Errorf("workload: kind %q does not take per-op curves", s.Kind)
+	}
+	return nil
+}
+
+// boundEngine is the two-level bound derivation (bound.DeriveRange over
+// a single Einsum's mapspace).
+type boundEngine struct{}
+
+// boundOpts assembles the full bound.Options from the Spec's
+// result-affecting fields plus the execution knobs.
+func boundOpts(s *Spec, exec Exec) bound.Options {
+	o := bound.Options{Workers: exec.Workers}
+	if s.Bound != nil {
+		o.ImperfectExtra = s.Bound.ImperfectExtra
+		o.ChargeSpills = s.Bound.ChargeSpills
+	}
+	return o
+}
+
+// Validate implements Engine.
+func (boundEngine) Validate(s *Spec) error {
+	if err := requireOnly(s, true, false, true, false, false); err != nil {
+		return err
+	}
+	if s.Einsum == nil {
+		return fmt.Errorf("workload: kind %q needs an einsum", s.Kind)
+	}
+	if err := s.Einsum.Validate(); err != nil {
+		return err
+	}
+	return boundOpts(s, Exec{}).Validate()
+}
+
+// Canonical implements Engine.
+func (boundEngine) Canonical(s *Spec) (string, string, error) {
+	return s.Einsum.Canonical(), boundOpts(s, Exec{}).Canonical(), nil
+}
+
+// Describe implements Engine.
+func (boundEngine) Describe(s *Spec) string { return s.Einsum.String() }
+
+// Space implements Engine.
+func (e boundEngine) Space(s *Spec) (int64, error) {
+	if err := e.Validate(s); err != nil {
+		return 0, err
+	}
+	return bound.Space(s.Einsum, boundOpts(s, Exec{})), nil
+}
+
+// Materialize implements Engine; bound Specs need nothing derived.
+func (boundEngine) Materialize(_ context.Context, s *Spec, _ Exec) (*Spec, error) {
+	return s, nil
+}
+
+// Compile implements Engine.
+func (boundEngine) Compile(s *Spec, plan shard.Plan, exec Exec) (shard.Job, error) {
+	job, err := shard.BoundJob(s.Einsum, boundOpts(s, exec), plan)
+	return withSpec(s, job, err)
+}
+
+// Run implements Engine.
+func (e boundEngine) Run(ctx context.Context, s *Spec, exec Exec) (*Result, error) {
+	space, err := e.Space(s)
+	if err != nil {
+		return nil, err
+	}
+	r, err := bound.DeriveRange(ctx, s.Einsum, boundOpts(s, exec), 0, space)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Curve: r.Curve, Evaluated: r.Stats.MappingsEvaluated}, nil
+}
+
+// multiLevelEngine is the three-level (L1/L2/DRAM) joint bound
+// derivation; the result curve is the DRAM frontier.
+type multiLevelEngine struct{}
+
+// Validate implements Engine.
+func (multiLevelEngine) Validate(s *Spec) error {
+	if err := requireOnly(s, true, false, false, true, false); err != nil {
+		return err
+	}
+	if s.Einsum == nil {
+		return fmt.Errorf("workload: kind %q needs an einsum", s.Kind)
+	}
+	if err := s.Einsum.Validate(); err != nil {
+		return err
+	}
+	if s.MultiLevel == nil {
+		return fmt.Errorf("workload: kind %q needs multilevel options", s.Kind)
+	}
+	if s.MultiLevel.L1CapBytes < 1 {
+		return fmt.Errorf("workload: multilevel l1_cap_bytes %d, want >= 1", s.MultiLevel.L1CapBytes)
+	}
+	return nil
+}
+
+// Canonical implements Engine.
+func (multiLevelEngine) Canonical(s *Spec) (string, string, error) {
+	return s.Einsum.Canonical(), shard.MultiLevelCanonical(s.MultiLevel.L1CapBytes), nil
+}
+
+// Describe implements Engine.
+func (multiLevelEngine) Describe(s *Spec) string {
+	return fmt.Sprintf("%s three-level L1=%dB", s.Einsum.String(), s.MultiLevel.L1CapBytes)
+}
+
+// Space implements Engine.
+func (e multiLevelEngine) Space(s *Spec) (int64, error) {
+	if err := e.Validate(s); err != nil {
+		return 0, err
+	}
+	return multilevel.Space(s.Einsum)
+}
+
+// Materialize implements Engine; multilevel Specs need nothing derived.
+func (multiLevelEngine) Materialize(_ context.Context, s *Spec, _ Exec) (*Spec, error) {
+	return s, nil
+}
+
+// Compile implements Engine.
+func (multiLevelEngine) Compile(s *Spec, plan shard.Plan, exec Exec) (shard.Job, error) {
+	job, err := shard.MultiLevelJob(s.Einsum, s.MultiLevel.L1CapBytes, multilevel.Options{Workers: exec.Workers}, plan)
+	return withSpec(s, job, err)
+}
+
+// Run implements Engine.
+func (e multiLevelEngine) Run(ctx context.Context, s *Spec, exec Exec) (*Result, error) {
+	space, err := e.Space(s)
+	if err != nil {
+		return nil, err
+	}
+	r, err := multilevel.DeriveRange(ctx, s.Einsum, s.MultiLevel.L1CapBytes, 0, space, multilevel.Options{Workers: exec.Workers})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Curve: r.DRAM, Evaluated: r.Mappings}, nil
+}
+
+// fusionTiledEngine is the tiled-fusion sweep over a chain's FFMT
+// template space.
+type fusionTiledEngine struct{}
+
+// Validate implements Engine.
+func (fusionTiledEngine) Validate(s *Spec) error {
+	if err := requireOnly(s, false, true, false, false, false); err != nil {
+		return err
+	}
+	if s.Chain == nil {
+		return fmt.Errorf("workload: kind %q needs a chain", s.Kind)
+	}
+	return s.Chain.Validate()
+}
+
+// Canonical implements Engine.
+func (fusionTiledEngine) Canonical(s *Spec) (string, string, error) {
+	return s.Chain.Canonical(), "fusion-tiled{}", nil
+}
+
+// Describe implements Engine.
+func (fusionTiledEngine) Describe(s *Spec) string {
+	return fmt.Sprintf("%s: %d ops over M=%d", s.Chain.Name, len(s.Chain.Ops), s.Chain.M)
+}
+
+// Space implements Engine.
+func (e fusionTiledEngine) Space(s *Spec) (int64, error) {
+	if err := e.Validate(s); err != nil {
+		return 0, err
+	}
+	return fusion.TiledFusionSpace(s.Chain)
+}
+
+// Materialize implements Engine; tiled-fusion Specs need nothing
+// derived.
+func (fusionTiledEngine) Materialize(_ context.Context, s *Spec, _ Exec) (*Spec, error) {
+	return s, nil
+}
+
+// Compile implements Engine.
+func (fusionTiledEngine) Compile(s *Spec, plan shard.Plan, exec Exec) (shard.Job, error) {
+	job, err := shard.FusionTiledJob(s.Chain, plan, exec.Workers)
+	return withSpec(s, job, err)
+}
+
+// Run implements Engine.
+func (e fusionTiledEngine) Run(ctx context.Context, s *Spec, exec Exec) (*Result, error) {
+	space, err := e.Space(s)
+	if err != nil {
+		return nil, err
+	}
+	curve, ts, err := fusion.TiledFusionRange(ctx, s.Chain, 0, space, exec.Workers)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Curve: curve, Evaluated: ts.Evaluated}, nil
+}
+
+// segmentationEngine is the segmentation study over a chain's 2^(n-1)
+// cut-pattern masks. Its per-op standalone curves are derivation inputs
+// (part of the workload digest); an unmaterialized Spec carries only the
+// chain and derives them on Materialize with default bound options, so
+// they — and hence the digests — are a pure function of the chain.
+type segmentationEngine struct{}
+
+// Validate implements Engine.
+func (segmentationEngine) Validate(s *Spec) error {
+	if err := requireOnly(s, false, true, false, false, true); err != nil {
+		return err
+	}
+	if s.Chain == nil {
+		return fmt.Errorf("workload: kind %q needs a chain", s.Kind)
+	}
+	if err := s.Chain.Validate(); err != nil {
+		return err
+	}
+	if s.PerOp != nil {
+		if len(s.PerOp) != len(s.Chain.Ops) {
+			return fmt.Errorf("workload: segmentation has %d per-op curves for a %d-op chain", len(s.PerOp), len(s.Chain.Ops))
+		}
+		for i, cv := range s.PerOp {
+			if cv == nil {
+				return fmt.Errorf("workload: segmentation per-op curve %d is nil", i)
+			}
+		}
+	}
+	return nil
+}
+
+// Canonical implements Engine. The workload encoding includes the
+// per-op curves, so it needs a materialized Spec.
+func (segmentationEngine) Canonical(s *Spec) (string, string, error) {
+	if s.PerOp == nil {
+		return "", "", fmt.Errorf("workload: segmentation canonical encoding needs per-op curves: %w", ErrUnmaterialized)
+	}
+	return shard.SegmentationCanonical(s.Chain, s.PerOp), "segmentation{}", nil
+}
+
+// Describe implements Engine.
+func (segmentationEngine) Describe(s *Spec) string {
+	return fmt.Sprintf("%s: %d-op segmentation study over M=%d", s.Chain.Name, len(s.Chain.Ops), s.Chain.M)
+}
+
+// Space implements Engine.
+func (e segmentationEngine) Space(s *Spec) (int64, error) {
+	if err := e.Validate(s); err != nil {
+		return 0, err
+	}
+	return fusion.SegmentationSpace(s.Chain)
+}
+
+// Materialize implements Engine: it derives each op's standalone
+// ski-slope curve (default bound options — no result-affecting fields
+// set) and returns a Spec carrying them. Already materialized Specs are
+// returned unchanged, so embedded-Spec resumes never re-derive inputs.
+func (e segmentationEngine) Materialize(ctx context.Context, s *Spec, exec Exec) (*Spec, error) {
+	if err := e.Validate(s); err != nil {
+		return nil, err
+	}
+	if s.PerOp != nil {
+		return s, nil
+	}
+	opts := bound.Options{Workers: exec.Workers}
+	curves := make([]*pareto.Curve, len(s.Chain.Ops))
+	for i := range s.Chain.Ops {
+		ref := s.Chain.Ops[i].Ref
+		r, err := bound.DeriveRange(ctx, ref, opts, 0, bound.Space(ref, opts))
+		if err != nil {
+			return nil, fmt.Errorf("workload: per-op curve %d (%s): %w", i, ref.String(), err)
+		}
+		curves[i] = r.Curve
+	}
+	m := *s
+	m.PerOp = curves
+	return &m, nil
+}
+
+// Compile implements Engine; it needs a materialized Spec.
+func (segmentationEngine) Compile(s *Spec, plan shard.Plan, exec Exec) (shard.Job, error) {
+	if s.PerOp == nil {
+		return shard.Job{}, fmt.Errorf("workload: compiling segmentation job: %w", ErrUnmaterialized)
+	}
+	job, err := shard.SegmentationJob(s.Chain, s.PerOp, plan, exec.Workers)
+	return withSpec(s, job, err)
+}
+
+// Run implements Engine: the full per-strategy study, with the
+// capacity-wise best curve annotated the way the serve layer has always
+// reported it (fused algorithmic minimum, unfused total operand bytes).
+func (e segmentationEngine) Run(ctx context.Context, s *Spec, exec Exec) (*Result, error) {
+	m, err := e.Materialize(ctx, s, exec)
+	if err != nil {
+		return nil, err
+	}
+	study, ts, err := fusion.SegmentationStudyContext(ctx, m.Chain, m.PerOp, exec.Workers)
+	if err != nil {
+		return nil, err
+	}
+	curves := make([]*pareto.Curve, len(study))
+	segments := make([]Segment, len(study))
+	for i, sr := range study {
+		curves[i] = sr.Curve
+		segments[i] = Segment{
+			Label:  sr.Label,
+			Cuts:   sr.Segmentation.Cuts,
+			Points: sr.Curve.Len(),
+			Curve:  sr.Curve,
+		}
+	}
+	best := pareto.MergeMin(curves...)
+	best.AlgoMinBytes = m.Chain.FusedAlgoMinBytes()
+	best.TotalOperandBytes = m.Chain.UnfusedAlgoMinBytes()
+	return &Result{Curve: best, Evaluated: ts.Evaluated, Segments: segments}, nil
+}

@@ -1,0 +1,521 @@
+package workload
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/bound"
+	"repro/internal/einsum"
+	"repro/internal/fusion"
+	"repro/internal/multilevel"
+	"repro/internal/pareto"
+	"repro/internal/shard"
+)
+
+var update = flag.Bool("update", false, "rewrite golden spec files")
+
+func testGEMM() *einsum.Einsum { return einsum.GEMM("gemm_64", 64, 64, 64) }
+
+func testSmallGEMM() *einsum.Einsum { return einsum.GEMM("gemm_16", 16, 16, 16) }
+
+func testChain(t *testing.T) *fusion.Chain {
+	t.Helper()
+	c, err := fusion.NewChain("ffn", 64,
+		fusion.GEMMOp("mm_0", 64, 32, 48),
+		fusion.GEMMOp("mm_1", 64, 48, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func segChain(t *testing.T) *fusion.Chain {
+	t.Helper()
+	c, err := fusion.NewChain("mlp5", 16,
+		fusion.GEMMOp("g0", 16, 4, 8),
+		fusion.GEMMOp("g1", 16, 8, 8),
+		fusion.GEMMOp("g2", 16, 8, 4),
+		fusion.GEMMOp("g3", 16, 4, 8),
+		fusion.GEMMOp("g4", 16, 8, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func curveBytes(t *testing.T, c *pareto.Curve) string {
+	t.Helper()
+	b, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// goldenSpecs are the four kinds' reference Specs; the segmentation one
+// is deliberately unmaterialized (the schema clients author by hand).
+func goldenSpecs(t *testing.T) map[string]*Spec {
+	t.Helper()
+	return map[string]*Spec{
+		"bound":        NewBound(testGEMM(), bound.Options{ImperfectExtra: 2}),
+		"multilevel":   NewMultiLevel(testSmallGEMM(), 1024),
+		"fusion-tiled": NewFusionTiled(testChain(t)),
+		"segmentation": NewSegmentation(segChain(t), nil),
+	}
+}
+
+// TestSpecGoldenRoundTrip pins the canonical encoding of all four kinds
+// byte for byte: Encode matches the checked-in golden file, Decode of
+// the golden re-encodes to the same bytes, and a decoded Spec derives
+// the same digests as the original.
+func TestSpecGoldenRoundTrip(t *testing.T) {
+	for name, spec := range goldenSpecs(t) {
+		t.Run(name, func(t *testing.T) {
+			enc, err := spec.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", "spec_"+name+".json")
+			if *update {
+				if err := os.WriteFile(path, append(append([]byte{}, enc...), '\n'), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			golden, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			golden = bytes.TrimSuffix(golden, []byte("\n"))
+			if !bytes.Equal(enc, golden) {
+				t.Fatalf("canonical encoding drifted from golden\n got %s\nwant %s", enc, golden)
+			}
+			decoded, err := Decode(golden)
+			if err != nil {
+				t.Fatal(err)
+			}
+			re, err := decoded.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(re, golden) {
+				t.Fatalf("decode/encode not byte-stable\n got %s\nwant %s", re, golden)
+			}
+		})
+	}
+}
+
+// TestDecodeRejections pins the strictness contract: unknown kinds,
+// unknown fields, kind-mismatched fields, trailing data, and structural
+// garbage are all errors.
+func TestDecodeRejections(t *testing.T) {
+	valid, err := NewFusionTiled(testChain(t)).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]string{
+		"unknown kind":   `{"kind":"frobnicate"}`,
+		"unknown field":  strings.Replace(string(valid), `"kind"`, `"surprise":1,"kind"`, 1),
+		"trailing data":  string(valid) + `{"kind":"bound"}`,
+		"missing chain":  `{"kind":"fusion-tiled"}`,
+		"cross-kind":     strings.Replace(string(valid), `"kind":"fusion-tiled"`, `"kind":"fusion-tiled","multilevel":{"l1_cap_bytes":1}`, 1),
+		"not an object":  `[1,2,3]`,
+		"torn json":      string(valid[:len(valid)/2]),
+		"bound w/ chain": strings.Replace(string(valid), `"kind":"fusion-tiled"`, `"kind":"bound"`, 1),
+	}
+	for name, data := range cases {
+		if _, err := Decode([]byte(data)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	if _, err := Decode(valid); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+}
+
+// TestDigestParityWithLegacyBuilders pins Spec identity to the legacy
+// job builders for every kind: same workload digest, same options
+// digest, same index-space size — before and after a JSON round trip.
+func TestDigestParityWithLegacyBuilders(t *testing.T) {
+	e, ml, c := testGEMM(), testSmallGEMM(), testChain(t)
+	sc := segChain(t)
+	perOp := sc.PerOpCurves(bound.Options{Workers: 1})
+	plan := shard.Plan{Index: 0, Count: 2}
+
+	legacy := map[string]shard.Job{}
+	if j, err := shard.BoundJob(e, bound.Options{ImperfectExtra: 2}, plan); err == nil {
+		legacy["bound"] = j
+	} else {
+		t.Fatal(err)
+	}
+	if j, err := shard.MultiLevelJob(ml, 1024, multilevel.Options{}, plan); err == nil {
+		legacy["multilevel"] = j
+	} else {
+		t.Fatal(err)
+	}
+	if j, err := shard.FusionTiledJob(c, plan, 1); err == nil {
+		legacy["fusion-tiled"] = j
+	} else {
+		t.Fatal(err)
+	}
+	if j, err := shard.SegmentationJob(sc, perOp, plan, 1); err == nil {
+		legacy["segmentation"] = j
+	} else {
+		t.Fatal(err)
+	}
+
+	specs := goldenSpecs(t)
+	specs["segmentation"] = NewSegmentation(sc, perOp)
+	for name, spec := range specs {
+		t.Run(name, func(t *testing.T) {
+			want := legacy[name]
+			enc, err := spec.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			decoded, err := Decode(enc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for label, s := range map[string]*Spec{"direct": spec, "round-tripped": s2(decoded)} {
+				wd, od, err := s.Digests()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if wd != want.WorkloadDigest || od != want.OptionsDigest {
+					t.Fatalf("%s spec digests (%.12s…, %.12s…) != legacy builder (%.12s…, %.12s…)",
+						label, wd, od, want.WorkloadDigest, want.OptionsDigest)
+				}
+				space, err := s.Space()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if space != want.Items {
+					t.Fatalf("%s spec space %d != legacy builder items %d", label, space, want.Items)
+				}
+				job, err := s.Compile(plan, Exec{Workers: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if job.WorkloadDigest != want.WorkloadDigest || job.OptionsDigest != want.OptionsDigest || job.Items != want.Items {
+					t.Fatalf("%s compiled job identity differs from legacy builder", label)
+				}
+				if len(job.Spec) == 0 {
+					t.Fatalf("%s compiled job carries no embedded spec", label)
+				}
+			}
+		})
+	}
+}
+
+// s2 is a typed identity helper so the map literal above can hold both
+// the original and decoded Specs.
+func s2(s *Spec) *Spec { return s }
+
+// runSpecShards compiles every shard of an n-way plan from a freshly
+// decoded copy of enc — the fleet-worker situation: nothing shared with
+// the authoring context — and runs each through the file-backed path.
+func runSpecShards(t *testing.T, dir string, enc []byte, n int) []string {
+	t.Helper()
+	paths := make([]string, n)
+	for k := 0; k < n; k++ {
+		decoded, err := Decode(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		job, err := decoded.Compile(shard.Plan{Index: k, Count: n}, Exec{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths[k] = filepath.Join(dir, fmt.Sprintf("shard-%d-of-%d.json", k+1, n))
+		if _, _, err := shard.Run(context.Background(), job, shard.RunOptions{Path: paths[k], CheckpointEvery: 3}); err != nil {
+			t.Fatalf("shard %d/%d: %v", k+1, n, err)
+		}
+	}
+	return paths
+}
+
+// TestSpecShardingParity pins the tentpole acceptance criterion for all
+// four kinds: a Spec serialized to JSON, decoded in a fresh context and
+// compiled through the registry yields sharded merges byte-identical to
+// the legacy direct builders, for N ∈ {2, 4}.
+func TestSpecShardingParity(t *testing.T) {
+	e, ml, c := testGEMM(), testSmallGEMM(), testChain(t)
+	sc := segChain(t)
+	perOp := sc.PerOpCurves(bound.Options{Workers: 1})
+
+	legacyMerge := func(mk func(shard.Plan) (shard.Job, error), n int) string {
+		dir := t.TempDir()
+		paths := make([]string, n)
+		for k := 0; k < n; k++ {
+			job, err := mk(shard.Plan{Index: k, Count: n})
+			if err != nil {
+				t.Fatal(err)
+			}
+			paths[k] = filepath.Join(dir, fmt.Sprintf("legacy-%d-of-%d.json", k+1, n))
+			if _, _, err := shard.Run(context.Background(), job, shard.RunOptions{Path: paths[k], CheckpointEvery: 3}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		merged, err := shard.MergeFiles(paths...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return curveBytes(t, merged)
+	}
+
+	kinds := []struct {
+		name string
+		spec *Spec
+		mk   func(shard.Plan) (shard.Job, error)
+	}{
+		{"bound", NewBound(e, bound.Options{ImperfectExtra: 2}), func(p shard.Plan) (shard.Job, error) {
+			return shard.BoundJob(e, bound.Options{ImperfectExtra: 2}, p)
+		}},
+		{"multilevel", NewMultiLevel(ml, 1024), func(p shard.Plan) (shard.Job, error) {
+			return shard.MultiLevelJob(ml, 1024, multilevel.Options{}, p)
+		}},
+		{"fusion-tiled", NewFusionTiled(c), func(p shard.Plan) (shard.Job, error) {
+			return shard.FusionTiledJob(c, p, 1)
+		}},
+		{"segmentation", NewSegmentation(sc, perOp), func(p shard.Plan) (shard.Job, error) {
+			return shard.SegmentationJob(sc, perOp, p, 1)
+		}},
+	}
+	for _, kind := range kinds {
+		t.Run(kind.name, func(t *testing.T) {
+			enc, err := kind.spec.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, n := range []int{2, 4} {
+				want := legacyMerge(kind.mk, n)
+				paths := runSpecShards(t, t.TempDir(), enc, n)
+				merged, err := shard.MergeFiles(paths...)
+				if err != nil {
+					t.Fatalf("N=%d: %v", n, err)
+				}
+				if got := curveBytes(t, merged); got != want {
+					t.Fatalf("N=%d: spec-compiled merge differs from legacy builder merge\n got %s\nwant %s", n, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestKillAndResumeFromManifestSpecAlone pins the fleet-resume
+// criterion: a shard killed mid-run is finished by a "process" that has
+// only the partial-frontier file — the job is rebuilt via
+// JobFromManifest from the manifest's embedded Spec, with no access to
+// the original Spec, chain, or per-op curves. Segmentation is the
+// demanding case (its per-op input curves travel inside the Spec);
+// bound covers the plain path.
+func TestKillAndResumeFromManifestSpecAlone(t *testing.T) {
+	sc := segChain(t)
+	perOp := sc.PerOpCurves(bound.Options{Workers: 1})
+	kinds := []struct {
+		name string
+		spec *Spec
+	}{
+		{"bound", NewBound(testSmallGEMM(), bound.Options{})},
+		{"segmentation", NewSegmentation(sc, perOp)},
+	}
+	for _, kind := range kinds {
+		t.Run(kind.name, func(t *testing.T) {
+			const n = 4
+			enc, err := kind.spec.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			inProc, err := kind.spec.Run(context.Background(), Exec{Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := curveBytes(t, inProc.Curve)
+
+			dir := t.TempDir()
+			paths := make([]string, n)
+			for k := 0; k < n; k++ {
+				decoded, err := Decode(enc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				job, err := decoded.Compile(shard.Plan{Index: k, Count: n}, Exec{Workers: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				paths[k] = filepath.Join(dir, fmt.Sprintf("shard-%d-of-%d.json", k+1, n))
+				if k != 1 {
+					if _, _, err := shard.Run(context.Background(), job, shard.RunOptions{Path: paths[k], CheckpointEvery: 1}); err != nil {
+						t.Fatal(err)
+					}
+					continue
+				}
+
+				// Kill shard 2 after its first flush...
+				ctx, cancel := context.WithCancel(context.Background())
+				_, _, err = shard.Run(ctx, job, shard.RunOptions{
+					Path:            paths[k],
+					CheckpointEvery: 1,
+					OnCheckpoint:    func(shard.Manifest) { cancel() },
+				})
+				cancel()
+				if err == nil {
+					t.Fatal("killed run reported success")
+				}
+				killed, rerr := shard.ReadPartial(paths[k])
+				if rerr != nil {
+					t.Fatalf("no resumable checkpoint after kill: %v", rerr)
+				}
+				if killed.Manifest.Complete() {
+					t.Fatal("kill point was after shard completion; shrink the space or CheckpointEvery")
+				}
+
+				// ...and finish it from the manifest alone.
+				rebuilt, spec, err := JobFromManifest(&killed.Manifest, Exec{Workers: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if spec.Kind != kind.spec.Kind {
+					t.Fatalf("manifest spec kind %q, want %q", spec.Kind, kind.spec.Kind)
+				}
+				_, stats, err := shard.Run(context.Background(), rebuilt, shard.RunOptions{Path: paths[k], CheckpointEvery: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !stats.Resumed || stats.ResumedFrom != killed.Manifest.CompletedThrough {
+					t.Fatalf("manifest-rebuilt job did not resume at checkpoint: stats %+v, checkpoint at %d",
+						stats, killed.Manifest.CompletedThrough)
+				}
+			}
+			merged, err := shard.MergeFiles(paths...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := curveBytes(t, merged); got != want {
+				t.Fatalf("manifest-resumed merge differs from in-process run\n got %s\nwant %s", got, want)
+			}
+		})
+	}
+}
+
+// TestJobFromManifestGuards pins the failure modes: legacy manifests
+// without a Spec are ErrNoSpec, and a manifest whose digests disagree
+// with its embedded Spec is rejected.
+func TestJobFromManifestGuards(t *testing.T) {
+	spec := NewBound(testSmallGEMM(), bound.Options{})
+	job, err := spec.Compile(shard.Plan{Index: 0, Count: 2}, Exec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := job.Plan.Slice(job.Items)
+	m := shard.Manifest{
+		FormatVersion:    shard.FormatVersion,
+		Engine:           shard.Engine,
+		Kind:             job.Kind,
+		Workload:         job.Workload,
+		WorkloadDigest:   job.WorkloadDigest,
+		OptionsDigest:    job.OptionsDigest,
+		ShardIndex:       job.Plan.Index,
+		ShardCount:       job.Plan.Count,
+		Items:            job.Items,
+		RangeLo:          lo,
+		RangeHi:          hi,
+		CompletedThrough: lo,
+		Spec:             job.Spec,
+	}
+	if _, _, err := JobFromManifest(&m, Exec{}); err != nil {
+		t.Fatalf("well-formed manifest rejected: %v", err)
+	}
+
+	legacy := m
+	legacy.FormatVersion = shard.MinFormatVersion
+	legacy.Spec = nil
+	if _, _, err := JobFromManifest(&legacy, Exec{}); !errors.Is(err, ErrNoSpec) {
+		t.Fatalf("legacy manifest error = %v, want ErrNoSpec", err)
+	}
+
+	tampered := m
+	tampered.WorkloadDigest = shard.Digest("someone else's workload")
+	if _, _, err := JobFromManifest(&tampered, Exec{}); err == nil {
+		t.Fatal("digest-mismatched manifest accepted")
+	}
+
+	wrongKind := m
+	wrongKind.Kind = shard.KindFusionTiled
+	if _, _, err := JobFromManifest(&wrongKind, Exec{}); err == nil {
+		t.Fatal("kind-mismatched manifest accepted")
+	}
+}
+
+// TestMaterializeSegmentation pins the materialization contract: the
+// per-op curves Materialize derives equal the chain's direct
+// PerOpCurves, an already materialized Spec is returned as-is, and an
+// unmaterialized Spec refuses to digest or compile with
+// ErrUnmaterialized.
+func TestMaterializeSegmentation(t *testing.T) {
+	sc := segChain(t)
+	bare := NewSegmentation(sc, nil)
+	if _, _, err := bare.Digests(); !errors.Is(err, ErrUnmaterialized) {
+		t.Fatalf("unmaterialized digest error = %v, want ErrUnmaterialized", err)
+	}
+	if _, err := bare.Compile(shard.Plan{Index: 0, Count: 1}, Exec{}); !errors.Is(err, ErrUnmaterialized) {
+		t.Fatalf("unmaterialized compile error = %v, want ErrUnmaterialized", err)
+	}
+
+	mat, err := bare.Materialize(context.Background(), Exec{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sc.PerOpCurves(bound.Options{Workers: 1})
+	if len(mat.PerOp) != len(want) {
+		t.Fatalf("materialized %d per-op curves, want %d", len(mat.PerOp), len(want))
+	}
+	for i := range want {
+		if curveBytes(t, mat.PerOp[i]) != curveBytes(t, want[i]) {
+			t.Fatalf("materialized per-op curve %d differs from direct derivation", i)
+		}
+	}
+	if bare.PerOp != nil {
+		t.Fatal("Materialize mutated its input spec")
+	}
+	again, err := mat.Materialize(context.Background(), Exec{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != mat {
+		t.Fatal("materializing a materialized spec did not return it unchanged")
+	}
+}
+
+// TestRegistry pins the registry contract: the four paper kinds are
+// registered, unknown kinds error, and duplicate registration errors.
+func TestRegistry(t *testing.T) {
+	want := []shard.Kind{shard.KindBound, shard.KindFusionTiled, shard.KindMultiLevel, shard.KindSegmentation}
+	got := Default.Kinds()
+	if len(got) != len(want) {
+		t.Fatalf("Default registry has kinds %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Default registry has kinds %v, want %v", got, want)
+		}
+	}
+	if _, err := Lookup("frobnicate"); err == nil {
+		t.Fatal("unknown kind resolved")
+	}
+	r := NewRegistry()
+	if err := r.Register(shard.KindBound, boundEngine{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(shard.KindBound, boundEngine{}); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+}
