@@ -6,7 +6,7 @@ RACE_PKGS := ./internal/bound ./internal/pareto ./internal/fusion \
              ./internal/traverse ./internal/mapping \
              ./internal/multilevel ./internal/simba \
              ./internal/shard ./internal/supervise ./internal/serve \
-             ./internal/workload
+             ./internal/workload ./internal/fleet ./internal/cliutil
 
 # The fault-injection and supervision suites: every scripted I/O failure,
 # kill and cancellation must end in a successful retry or a named,
@@ -14,7 +14,7 @@ RACE_PKGS := ./internal/bound ./internal/pareto ./internal/fusion \
 # already shortened to milliseconds.
 ROBUST_PKGS := ./internal/shard ./internal/supervise ./internal/traverse
 
-.PHONY: all vet build test race robust serve bench-json docs ci
+.PHONY: all vet build test race robust serve fleet bench-json docs ci
 
 all: ci
 
@@ -48,8 +48,16 @@ robust:
 serve:
 	go test -race -count=1 ./internal/serve
 
+# The distributed-fleet suite under the race detector: coordinator
+# dispatch and allocation, bounded retries with retry-elsewhere, digest
+# quarantine, speculative re-execution, kill-a-worker and
+# kill-the-coordinator parity, and degraded merges (see
+# docs/fleet-protocol.md).
+fleet:
+	go test -race -count=1 ./internal/fleet
+
 # Machine-readable benchmark artifact: the paper-figure benchmark suite
-# (root package) parsed into BENCH_PR7.json by internal/tools/benchjson,
+# (root package) parsed into BENCH_PR8.json by internal/tools/benchjson,
 # followed by a delta report against the previous PR's artifact so
 # regressions are visible in the CI log. BENCHTIME=1x (the default) runs
 # each benchmark once — a smoke-level artifact for CI; raise it (e.g.
@@ -59,9 +67,9 @@ BENCH ?= .
 
 bench-json:
 	go test -run '^$$' -bench '$(BENCH)' -benchtime $(BENCHTIME) -benchmem . \
-		| go run ./internal/tools/benchjson -out BENCH_PR7.json
-	@if [ -f BENCH_PR6.json ]; then \
-		go run ./internal/tools/benchjson -delta BENCH_PR6.json BENCH_PR7.json; \
+		| go run ./internal/tools/benchjson -out BENCH_PR8.json
+	@if [ -f BENCH_PR7.json ]; then \
+		go run ./internal/tools/benchjson -delta BENCH_PR7.json BENCH_PR8.json; \
 	fi
 
-ci: vet build test race robust serve docs
+ci: vet build test race robust serve fleet docs

@@ -85,7 +85,7 @@ func main() {
 	}
 
 	if sf.Active() {
-		mkJob, err := jobMaker(chain, *path, *workers)
+		spec, err := buildSpec(chain, *path, *workers)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -100,6 +100,12 @@ func main() {
 			Stats:     *stats,
 			Summarize: func(c *pareto.Curve) { summarize(name, c) },
 		}
+		if sf.Fleet != "" {
+			cliutil.RunFleet(cfg, sf, spec, *workers)
+			return
+		}
+		exec := workload.Exec{Workers: *workers}
+		mkJob := func(p shard.Plan) (shard.Job, error) { return spec.Compile(p, exec) }
 		if sf.Supervise > 0 {
 			cliutil.RunSupervised(cfg, sf, mkJob)
 			return
@@ -153,29 +159,25 @@ func main() {
 	}
 }
 
-// jobMaker returns the shard-job constructor for the selected derivation
-// path, compiling through the workload spec so every checkpoint manifest
-// embeds it and stays resumable by shardmerge -resume alone. The
-// segmentation path derives each op's standalone ski-slope curve up
-// front (Materialize): those curves are inputs of the study and part of
-// the job's workload digest, so every shard of a fleet — and every
-// resume — must be built from the same deterministic set.
-func jobMaker(chain *orojenesis.Chain, path string, workers int) (func(shard.Plan) (shard.Job, error), error) {
-	exec := workload.Exec{Workers: workers}
-	var spec *workload.Spec
+// buildSpec returns the materialized workload Spec of the selected
+// derivation path — the value every sharded mode compiles its jobs from
+// (and the fleet mode ships to remote workers verbatim), so every
+// checkpoint manifest embeds it and stays resumable by shardmerge
+// -resume alone. The segmentation path derives each op's standalone
+// ski-slope curve up front (Materialize): those curves are inputs of the
+// study and part of the workload digest, so every shard of a run — and
+// every resume, on any machine — must be built from the same
+// deterministic set.
+func buildSpec(chain *orojenesis.Chain, path string, workers int) (*workload.Spec, error) {
 	switch path {
 	case "tiled":
-		spec = workload.NewFusionTiled(chain)
+		return workload.NewFusionTiled(chain), nil
 	case "segmentation":
-		var err error
-		spec, err = workload.NewSegmentation(chain, nil).Materialize(context.Background(), exec)
-		if err != nil {
-			return nil, err
-		}
+		exec := workload.Exec{Workers: workers}
+		return workload.NewSegmentation(chain, nil).Materialize(context.Background(), exec)
 	default:
 		return nil, fmt.Errorf("unknown -path %q (want tiled or segmentation)", path)
 	}
-	return func(p shard.Plan) (shard.Job, error) { return spec.Compile(p, exec) }, nil
 }
 
 // summarize renders the chain summary table for a merged or spec-run

@@ -13,6 +13,13 @@
 // envelope (covered_fraction, missing_shards) instead of an error, and
 // keeps its spool as the resume point.
 //
+// Two flags turn processes into a derivation fleet
+// (docs/fleet-protocol.md): -worker serves POST /v1/shard, executing
+// shard dispatches for remote coordinators; -fleet URL,... makes this
+// process a coordinator that dispatches its spooled sharded derivations
+// to those workers — with retries, straggler speculation, and digest
+// validation — and merges a curve byte-identical to deriving alone.
+//
 // Example:
 //
 //	orojenesisd -addr :8080 -spool /var/lib/orojenesisd &
@@ -21,6 +28,13 @@
 //	  "B[m,n] = A[m,k] * W[k,n] {M=64,K=8,N=16}",
 //	  "C[m,n] = B[m,k] * V[k,n] {M=64,K=16,N=8}"]}}'
 //
+//	# two workers and a coordinator on one host
+//	orojenesisd -addr :8081 -worker &
+//	orojenesisd -addr :8082 -worker &
+//	orojenesisd -addr :8080 -spool /var/lib/orojenesisd \
+//	    -fleet http://localhost:8081,http://localhost:8082 &
+//	curl -s localhost:8080/v1/curve -d '{"gemm":{"m":512,"k":512,"n":512},"shards":4}'
+//
 // See docs/server-api.md for the full API.
 package main
 
@@ -28,10 +42,13 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -55,6 +72,10 @@ func main() {
 	retries := flag.Int("retries", 0, "per-shard retry budget for spooled derivations (0 = default)")
 	maxShards := flag.Int("max-shards", 0, "cap on the per-request shard count (0 = 64)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight derivations before cancelling them")
+	worker := flag.Bool("worker", false, "serve POST /v1/shard: execute fleet shard dispatches for remote coordinators")
+	fleetList := flag.String("fleet", "", "comma-separated worker base URLs; spooled sharded derivations dispatch to them instead of deriving in-process (requires -spool)")
+	fleetPerWorker := flag.Int("fleet-per-worker", 0, "concurrent dispatches per fleet worker (0 = 2)")
+	fleetSpeculate := flag.Duration("fleet-speculate", 0, "re-dispatch straggling fleet shards to an idle worker after this delay (0 disables speculation)")
 	flag.Parse()
 
 	if *spool != "" {
@@ -62,20 +83,52 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	var fleetWorkers []string
+	if *fleetList != "" {
+		if *spool == "" {
+			log.Fatal("-fleet requires -spool: dispatched partials land in the spool so a killed coordinator can resume")
+		}
+		for _, u := range strings.Split(*fleetList, ",") {
+			if u = strings.TrimSpace(strings.TrimSuffix(u, "/")); u != "" {
+				fleetWorkers = append(fleetWorkers, u)
+			}
+		}
+		if len(fleetWorkers) == 0 {
+			log.Fatal("-fleet lists no worker URLs")
+		}
+	}
+	workerDir := ""
+	if *worker {
+		// Worker checkpoints live beside the spool when there is one; an
+		// execution-only worker without -spool checkpoints under the OS
+		// temp directory (shard resume within one life of the process).
+		if *spool != "" {
+			workerDir = filepath.Join(*spool, "worker")
+		} else {
+			workerDir = filepath.Join(os.TempDir(), fmt.Sprintf("orojenesisd-worker-%d", os.Getpid()))
+		}
+		if err := os.MkdirAll(workerDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	srv := serve.New(serve.Config{
-		Workers:         *workers,
-		MaxConcurrent:   *maxConcurrent,
-		MaxQueue:        *maxQueue,
-		QueueWait:       *queueWait,
-		DefaultTimeout:  *defaultTimeout,
-		MaxTimeout:      *maxTimeout,
-		CacheEntries:    *cacheEntries,
-		SpoolDir:        *spool,
-		CheckpointEvery: *checkpoint,
-		ShardRetries:    *retries,
-		MaxShards:       *maxShards,
-		Logf:            log.Printf,
+		Workers:             *workers,
+		MaxConcurrent:       *maxConcurrent,
+		MaxQueue:            *maxQueue,
+		QueueWait:           *queueWait,
+		DefaultTimeout:      *defaultTimeout,
+		MaxTimeout:          *maxTimeout,
+		CacheEntries:        *cacheEntries,
+		SpoolDir:            *spool,
+		CheckpointEvery:     *checkpoint,
+		ShardRetries:        *retries,
+		MaxShards:           *maxShards,
+		WorkerDir:           workerDir,
+		FleetWorkers:        fleetWorkers,
+		FleetPerWorker:      *fleetPerWorker,
+		FleetSpeculateAfter: *fleetSpeculate,
+		Logf:                log.Printf,
 	})
 
 	httpSrv := &http.Server{

@@ -8,8 +8,10 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
+	"repro/internal/fleet"
 	"repro/internal/pareto"
 	"repro/internal/shard"
 	"repro/internal/supervise"
@@ -18,9 +20,10 @@ import (
 
 // ShardFlags is the sharded-execution flag block shared by the
 // derivation CLIs (orojenesis, fusionbounds): one shard slice with
-// -shard k/N, or a whole supervised fleet with -supervise N, plus the
-// knobs both modes share. Register it with AddShardFlags; dispatch with
-// RunShard / RunSupervised.
+// -shard k/N, a whole supervised run with -supervise N, or a distributed
+// run with -supervise N -fleet URL,... dispatching shards to remote
+// workers, plus the knobs the modes share. Register it with
+// AddShardFlags; dispatch with RunShard / RunSupervised / RunFleet.
 type ShardFlags struct {
 	// Shard is the "k/N" plan of a single-slice run ("" = off).
 	Shard string
@@ -40,6 +43,11 @@ type ShardFlags struct {
 	// AllowPartial accepts a degraded supervised merge instead of
 	// refusing when shards fail permanently.
 	AllowPartial bool
+	// Fleet is the comma-separated worker URL list of a distributed run
+	// ("" = derive locally): with -supervise N, shards are dispatched to
+	// these workers over HTTP (docs/fleet-protocol.md) instead of derived
+	// in-process.
+	Fleet string
 }
 
 // AddShardFlags registers the shared shard flag block on fs. indexNoun
@@ -54,11 +62,14 @@ func AddShardFlags(fs *flag.FlagSet, indexNoun string) *ShardFlags {
 	fs.StringVar(&f.ShardDir, "shard-dir", "", "directory for per-shard checkpoint files in -supervise mode (required; reused on resume)")
 	fs.IntVar(&f.Retries, "retries", 0, "per-shard retry budget in -supervise mode (0 = default, negative = none)")
 	fs.BoolVar(&f.AllowPartial, "allow-partial", false, "in -supervise mode, emit an annotated degraded curve when shards fail permanently instead of refusing")
+	fs.StringVar(&f.Fleet, "fleet", "", "comma-separated worker base URLs; with -supervise N, dispatch the shards to these workers over HTTP instead of deriving locally")
 	return f
 }
 
-// Active reports whether either sharded mode was requested.
-func (f *ShardFlags) Active() bool { return f.Supervise > 0 || f.Shard != "" }
+// Active reports whether any sharded mode was requested. A bare -fleet
+// counts so its "requires -supervise" diagnosis surfaces instead of the
+// flag being ignored.
+func (f *ShardFlags) Active() bool { return f.Supervise > 0 || f.Shard != "" || f.Fleet != "" }
 
 // ShardRunConfig is the per-CLI presentation of the shared shard
 // runners: the workload header line, the nouns of the progress messages,
@@ -174,13 +185,76 @@ func RunSupervised(cfg ShardRunConfig, f *ShardFlags, mkJob func(shard.Plan) (sh
 		}
 	}
 	fmt.Printf("supervised %d shards in %d attempts\n", f.Supervise, attempts)
+	emitMerged(cfg, f, report.Curve, report.Degraded)
+}
 
-	curve := report.Curve
-	if report.Degraded != nil {
-		d := report.Degraded
-		curve = d.Curve
+// RunFleet dispatches all N shards of a materialized workload Spec to
+// remote workers over HTTP (the -fleet URL,... mode layered on
+// -supervise N -shard-dir DIR; see docs/fleet-protocol.md): the
+// coordinator policy of internal/fleet — per-worker caps, retries with
+// backoff, quarantine of invalid responses — over the same spool layout
+// as RunSupervised, so an interrupted run resumes by rerunning and the
+// merged curve is byte-identical to deriving locally.
+func RunFleet(cfg ShardRunConfig, f *ShardFlags, spec *workload.Spec, workers int) {
+	if f.Supervise <= 0 {
+		log.Fatal("-fleet requires -supervise N (the shard count to dispatch)")
+	}
+	if f.ShardDir == "" {
+		log.Fatal("-fleet requires -shard-dir DIR for the spooled partial frontiers")
+	}
+	var urls []string
+	for _, u := range strings.Split(f.Fleet, ",") {
+		if u = strings.TrimSpace(strings.TrimSuffix(u, "/")); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	if len(urls) == 0 {
+		log.Fatal("-fleet lists no worker URLs")
+	}
+	ctx, stop := signalContext()
+	defer stop()
+	exec := workload.Exec{Workers: workers}
+	mspec, err := spec.Materialize(ctx, exec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := fleet.Run(ctx, mspec, f.Supervise, fleet.Options{
+		Workers:         urls,
+		Dir:             f.ShardDir,
+		MaxRetries:      f.Retries,
+		CheckpointEvery: f.Checkpoint,
+		AllowPartial:    f.AllowPartial,
+		Exec:            exec,
+		Logf:            log.Printf,
+	})
+	if report != nil && report.Interrupted {
+		log.Printf("interrupted; completed shard partials are spooled under %s — rerun the same command to resume", f.ShardDir)
+		os.Exit(130)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(cfg.Header)
+	for _, st := range report.Shards {
+		for _, q := range st.Quarantined {
+			fmt.Printf("shard %s: quarantined invalid response/partial -> %s\n", st.Plan, q)
+		}
+	}
+	fmt.Printf("fleet of %d workers derived %d shards in %d dispatches (%d retries, %d speculations)\n",
+		len(urls), f.Supervise, report.Dispatches, report.Retries, report.Speculations)
+	emitMerged(cfg, f, report.Curve, report.Degraded)
+}
+
+// emitMerged renders a sharded run's merged result — exact curve or
+// annotated degraded envelope — and writes -out; the shared tail of
+// RunSupervised and RunFleet.
+func emitMerged(cfg ShardRunConfig, f *ShardFlags, curve *pareto.Curve, degraded *shard.Degraded) {
+	if degraded != nil {
+		curve = degraded.Curve
 		fmt.Printf("DEGRADED curve: covers %d of %d indices (%.2f%%); missing shards %v, incomplete %v\n",
-			d.CoveredIndices, d.Items, 100*d.CoveredFraction, d.MissingShards, d.IncompleteShards)
+			degraded.CoveredIndices, degraded.Items, 100*degraded.CoveredFraction,
+			degraded.MissingShards, degraded.IncompleteShards)
 	}
 	if cfg.Summarize != nil {
 		cfg.Summarize(curve)
@@ -190,8 +264,8 @@ func RunSupervised(cfg ShardRunConfig, f *ShardFlags, mkJob func(shard.Plan) (sh
 		// A degraded result is serialized only inside its annotated
 		// envelope, never as a bare curve.
 		var payload any = curve
-		if report.Degraded != nil {
-			payload = report.Degraded
+		if degraded != nil {
+			payload = degraded
 		}
 		data, err := json.Marshal(payload)
 		if err != nil {
@@ -242,6 +316,10 @@ func RunSpec(path string, f *ShardFlags, workers int, stats bool, summarize func
 		stop()
 		if err != nil {
 			log.Fatal(err)
+		}
+		if f.Fleet != "" {
+			RunFleet(cfg, f, mspec, workers)
+			return
 		}
 		mkJob := func(p shard.Plan) (shard.Job, error) { return mspec.Compile(p, exec) }
 		if f.Supervise > 0 {

@@ -5,12 +5,14 @@ import (
 	"context"
 	"encoding/json"
 	"flag"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"repro/internal/bound"
 	"repro/internal/einsum"
+	"repro/internal/serve"
 	"repro/internal/workload"
 )
 
@@ -23,6 +25,7 @@ func TestAddShardFlags(t *testing.T) {
 	args := []string{
 		"-shard", "1/4", "-out", "p.json", "-checkpoint", "7",
 		"-shard-dir", "parts", "-retries", "-1", "-allow-partial",
+		"-fleet", "http://localhost:8081,http://localhost:8082",
 	}
 	if err := fs.Parse(args); err != nil {
 		t.Fatal(err)
@@ -31,8 +34,18 @@ func TestAddShardFlags(t *testing.T) {
 		t.Fatal("-shard did not activate sharded mode")
 	}
 	if f.Shard != "1/4" || f.Out != "p.json" || f.Checkpoint != 7 ||
-		f.ShardDir != "parts" || f.Retries != -1 || !f.AllowPartial {
+		f.ShardDir != "parts" || f.Retries != -1 || !f.AllowPartial ||
+		f.Fleet != "http://localhost:8081,http://localhost:8082" {
 		t.Fatalf("parsed flags %+v do not match the command line", f)
+	}
+
+	fs3 := flag.NewFlagSet("test3", flag.ContinueOnError)
+	f3 := AddShardFlags(fs3, "indices")
+	if err := fs3.Parse([]string{"-fleet", "http://localhost:8081"}); err != nil {
+		t.Fatal(err)
+	}
+	if !f3.Active() {
+		t.Fatal("bare -fleet did not activate sharded mode (its -supervise diagnosis would never surface)")
 	}
 
 	fs2 := flag.NewFlagSet("test2", flag.ContinueOnError)
@@ -78,5 +91,51 @@ func TestRunSpecSupervisedRoundTrip(t *testing.T) {
 	}
 	if !bytes.Equal(bytes.TrimSpace(got), want) {
 		t.Fatalf("spec-run supervised merge differs from in-process run\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestRunSpecFleetRoundTrip: the -spec FILE mode with -fleet dispatches
+// the decoded Spec's shards to a live worker server over HTTP and writes
+// the same curve an in-process run produces.
+func TestRunSpecFleetRoundTrip(t *testing.T) {
+	worker := serve.New(serve.Config{Workers: 2, WorkerDir: t.TempDir()})
+	ts := httptest.NewServer(worker.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		worker.Close()
+	})
+
+	e := einsum.GEMM("gemm_16x12x8", 16, 12, 8)
+	spec := workload.NewBound(e, bound.Options{})
+	data, err := spec.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "spec.json")
+	if err := os.WriteFile(specPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "curve.json")
+	f := &ShardFlags{Supervise: 2, ShardDir: filepath.Join(dir, "parts"), Fleet: ts.URL, Out: out}
+	RunSpec(specPath, f, 2, false, nil)
+
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := spec.Run(context.Background(), workload.Exec{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(res.Curve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bytes.TrimSpace(got), want) {
+		t.Fatalf("spec-run fleet merge differs from in-process run\n got %s\nwant %s", got, want)
+	}
+	if worker.Snapshot().WorkerShards != 2 {
+		t.Fatalf("worker derived %d shards, want 2", worker.Snapshot().WorkerShards)
 	}
 }

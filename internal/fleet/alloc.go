@@ -1,0 +1,113 @@
+package fleet
+
+import (
+	"context"
+	"sync"
+)
+
+// allocator hands out per-worker dispatch slots: each worker URL holds
+// PerWorker slots, a shard blocks until any worker has one free, and the
+// least-loaded worker is preferred so slices spread across the fleet.
+// Speculation uses the non-blocking tryAcquire so a duplicate dispatch
+// only ever consumes genuinely idle capacity.
+type allocator struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	// order fixes the iteration order (deterministic tie-breaks); free
+	// maps worker URL to remaining slots.
+	order []string
+	free  map[string]int
+}
+
+// newAllocator builds the slot table: perWorker slots for each worker.
+func newAllocator(workers []string, perWorker int) *allocator {
+	a := &allocator{
+		order: append([]string(nil), workers...),
+		free:  make(map[string]int, len(workers)),
+	}
+	a.cond = sync.NewCond(&a.mu)
+	for _, w := range workers {
+		a.free[w] += perWorker
+	}
+	return a
+}
+
+// pickLocked chooses the worker with the most free slots, skipping
+// exclude; among the rest, a worker other than avoid wins ties and —
+// when only avoid has capacity — avoid is still used (one slow or flaky
+// worker must not deadlock a one-worker fleet). Ties break by listing
+// order for determinism. Caller holds mu.
+func (a *allocator) pickLocked(avoid string, exclude map[string]bool) (string, bool) {
+	best, bestFree, bestNotAvoided := "", 0, false
+	for _, w := range a.order {
+		if exclude[w] || a.free[w] <= 0 {
+			continue
+		}
+		notAvoided := w != avoid
+		switch {
+		case best == "",
+			notAvoided && !bestNotAvoided,
+			notAvoided == bestNotAvoided && a.free[w] > bestFree:
+			best, bestFree, bestNotAvoided = w, a.free[w], notAvoided
+		}
+	}
+	return best, best != ""
+}
+
+// acquire blocks until a worker other than avoid (the last worker that
+// failed this shard) has a free slot, or ctx is cancelled. When avoid is
+// the whole fleet, its slot is taken anyway — one flaky worker must not
+// deadlock a one-worker fleet. The caller must arrange wakeAll on ctx
+// cancellation (Run registers context.AfterFunc once for the whole run).
+func (a *allocator) acquire(ctx context.Context, avoid string) (string, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for {
+		if err := ctx.Err(); err != nil {
+			return "", err
+		}
+		if w, ok := a.pickLocked(avoid, nil); ok {
+			// Retry-elsewhere must mean elsewhere: when the only free
+			// capacity is on the worker that just failed this shard and the
+			// fleet has alternatives, wait for one of them to release a slot
+			// instead of burning the retry budget on the same worker. Every
+			// busy slot's dispatch ends in a release (and a Broadcast), so
+			// the wait is live.
+			if w == avoid && len(a.order) > 1 {
+				a.cond.Wait()
+				continue
+			}
+			a.free[w]--
+			return w, nil
+		}
+		a.cond.Wait()
+	}
+}
+
+// tryAcquire takes a slot on any worker not in exclude without blocking
+// — the speculation path, which only runs on genuinely idle capacity.
+func (a *allocator) tryAcquire(exclude map[string]bool) (string, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	w, ok := a.pickLocked("", exclude)
+	if !ok {
+		return "", false
+	}
+	a.free[w]--
+	return w, true
+}
+
+// release returns a worker's slot and wakes waiters.
+func (a *allocator) release(worker string) {
+	a.mu.Lock()
+	a.free[worker]++
+	a.mu.Unlock()
+	a.cond.Broadcast()
+}
+
+// wakeAll unblocks every acquire waiter (used on run cancellation).
+func (a *allocator) wakeAll() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.cond.Broadcast()
+}

@@ -1,0 +1,178 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+
+	"repro/internal/shard"
+)
+
+// ErrInvalidResponse marks a worker response that is not a structurally
+// valid, complete, digest-compatible partial frontier for the dispatched
+// shard: torn or truncated JSON, a foreign derivation's digests, the
+// wrong shard slot, or an incomplete slice. The response bytes are
+// quarantined for inspection and the dispatch is retried elsewhere — an
+// invalid response can never reach the spool.
+var ErrInvalidResponse = errors.New("fleet: invalid worker response")
+
+// PermanentError is a worker rejection retries cannot fix: an HTTP 4xx
+// other than 429 (invalid_request, invalid_workload,
+// unsupported_version, worker_disabled). The same spec and plan would be
+// rejected identically by every worker, so the coordinator fails the
+// shard immediately instead of burning its retry budget.
+type PermanentError struct {
+	// Worker is the rejecting worker's base URL; Status its HTTP status.
+	Worker string
+	Status int
+	// Code and Message are the structured error payload
+	// (serve.ErrorInfo schema), when the worker sent one.
+	Code    string
+	Message string
+}
+
+// Error renders the rejection.
+func (e *PermanentError) Error() string {
+	return fmt.Sprintf("fleet: worker %s rejected dispatch: %d %s: %s", e.Worker, e.Status, e.Code, e.Message)
+}
+
+// errorEnvelope mirrors serve's error body without importing serve
+// (which imports this package).
+type errorEnvelope struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// maxErrorBody bounds how much of an error response the coordinator
+// reads; structured error payloads are tiny.
+const maxErrorBody = 64 << 10
+
+// post runs one dispatch: POST the spec and plan slot to worker's
+// /v1/shard, then validate the response against the locally built
+// expected manifest before anything is trusted. Returns the validated
+// partial; or the path of a quarantined invalid response plus a
+// retryable error; or a *PermanentError for deterministic rejections; or
+// the context error when cancelled.
+func (c *coord) post(ctx context.Context, slotPath string, plan shard.Plan, expected *shard.Manifest, worker string) (*shard.Partial, string, error) {
+	if c.opts.AttemptTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.opts.AttemptTimeout)
+		defer cancel()
+	}
+	body, err := json.Marshal(ShardRequest{
+		Spec:             c.data,
+		ShardIndex:       plan.Index,
+		ShardCount:       plan.Count,
+		CheckpointEvery:  c.opts.CheckpointEvery,
+		TimeoutMS:        c.opts.AttemptTimeout.Milliseconds(),
+		MaxFormatVersion: shard.FormatVersion,
+	})
+	if err != nil {
+		return nil, "", fmt.Errorf("fleet: encoding dispatch: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, worker+"/v1/shard", bytes.NewReader(body))
+	if err != nil {
+		return nil, "", fmt.Errorf("fleet: building dispatch to %s: %w", worker, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.opts.client().Do(req)
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, "", cerr
+		}
+		return nil, "", fmt.Errorf("fleet: dispatch to %s: %w", worker, err)
+	}
+	defer resp.Body.Close()
+
+	if resp.StatusCode != http.StatusOK {
+		var env errorEnvelope
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, maxErrorBody))
+		_ = json.Unmarshal(data, &env)
+		if resp.StatusCode >= 400 && resp.StatusCode < 500 && resp.StatusCode != http.StatusTooManyRequests {
+			return nil, "", &PermanentError{Worker: worker, Status: resp.StatusCode, Code: env.Error.Code, Message: env.Error.Message}
+		}
+		// 429 (saturated), 503 (draining/shutdown), 504 (worker deadline —
+		// its checkpoint survives) and 5xx all retry elsewhere.
+		return nil, "", fmt.Errorf("fleet: worker %s answered %d %s: %s", worker, resp.StatusCode, env.Error.Code, env.Error.Message)
+	}
+
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		// Mid-flight worker death or a torn stream: the body ended before
+		// the response did. Retry elsewhere.
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, "", cerr
+		}
+		return nil, "", fmt.Errorf("fleet: reading response from %s: %w", worker, err)
+	}
+	p, verr := validatePartial(data, plan, expected)
+	if verr != nil {
+		qpath := c.quarantineBytes(slotPath, data)
+		return nil, qpath, fmt.Errorf("%w from %s: %v", ErrInvalidResponse, worker, verr)
+	}
+	return p, "", nil
+}
+
+// validatePartial parses and validates response bytes against the
+// expected manifest: structural validity (shard.Manifest.Validate),
+// digest compatibility (CompatibleWith — engine, kind, workload/options
+// digests, space size, shard count), the right shard slot, completeness,
+// and a present curve. Exactly the checks a merge would apply, applied
+// before the bytes can touch the spool.
+func validatePartial(data []byte, plan shard.Plan, expected *shard.Manifest) (*shard.Partial, error) {
+	var p shard.Partial
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("parsing partial: %w", err)
+	}
+	if err := p.Manifest.Validate(); err != nil {
+		return nil, err
+	}
+	if err := expected.CompatibleWith(&p.Manifest); err != nil {
+		return nil, fmt.Errorf("digest mismatch: %v", err)
+	}
+	if p.Manifest.ShardIndex != plan.Index {
+		return nil, fmt.Errorf("shard %d/%d answered for slot %s", p.Manifest.ShardIndex+1, p.Manifest.ShardCount, plan)
+	}
+	if !p.Manifest.Complete() {
+		return nil, fmt.Errorf("incomplete: completed through %d of [%d, %d)", p.Manifest.CompletedThrough, p.Manifest.RangeLo, p.Manifest.RangeHi)
+	}
+	if p.Curve == nil {
+		return nil, fmt.Errorf("missing curve")
+	}
+	return &p, nil
+}
+
+// quarantineBytes writes an invalid response's bytes to the first free
+// "<slot>.quarantine[.N]" file so the evidence survives next to the slot
+// it tried to fill. Returns the path, or "" when even that write failed
+// (logged; the dispatch error stands on its own).
+func (c *coord) quarantineBytes(slotPath string, data []byte) string {
+	for i := 0; ; i++ {
+		qpath := slotPath + ".quarantine"
+		if i > 0 {
+			qpath = fmt.Sprintf("%s.quarantine.%d", slotPath, i)
+		}
+		f, err := os.OpenFile(qpath, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if errors.Is(err, os.ErrExist) {
+			continue
+		}
+		if err != nil {
+			c.opts.logf("fleet: cannot quarantine invalid response at %s: %v", qpath, err)
+			return ""
+		}
+		_, werr := f.Write(data)
+		cerr := f.Close()
+		if werr != nil || cerr != nil {
+			c.opts.logf("fleet: writing quarantine %s: %v %v", qpath, werr, cerr)
+		}
+		c.quarantines.Add(1)
+		return qpath
+	}
+}

@@ -1,0 +1,64 @@
+package serve
+
+import (
+	"context"
+	"os"
+
+	"repro/internal/fleet"
+	"repro/internal/workload"
+)
+
+// fleetDerive runs a spooled sharded derivation by dispatching its
+// slices to the configured fleet workers (Config.FleetWorkers) instead
+// of deriving them in-process — the coordinator half of
+// docs/fleet-protocol.md. The spool contract is identical to the
+// supervised path: completed partials land in the same layout under the
+// same digest-named directory, so ResumeOrphans, drain and kill-resume
+// semantics carry over unchanged, and the merged curve is byte-identical
+// to a single-process derivation.
+func (s *Server) fleetDerive(ctx context.Context, d *derivation, dir string, shards int, allowPartial bool) (deriveOut, error) {
+	var out deriveOut
+	report, err := fleet.Run(ctx, d.mspec, shards, fleet.Options{
+		Workers:         s.cfg.FleetWorkers,
+		Dir:             dir,
+		PerWorker:       s.cfg.FleetPerWorker,
+		MaxRetries:      s.cfg.ShardRetries,
+		SpeculateAfter:  s.cfg.FleetSpeculateAfter,
+		CheckpointEvery: s.cfg.CheckpointEvery,
+		AllowPartial:    allowPartial,
+		Exec:            workload.Exec{Workers: s.cfg.Workers},
+		Client:          s.cfg.FleetClient,
+		Logf:            s.cfg.Logf,
+	})
+	if report != nil {
+		s.stats.fleetDispatches.Add(report.Dispatches)
+		s.stats.fleetRetries.Add(report.Retries)
+		s.stats.fleetSpeculations.Add(report.Speculations)
+		s.stats.fleetQuarantines.Add(report.Quarantines)
+		for _, st := range report.Shards {
+			if st.Completed && !st.Resumed {
+				// The coordinator observes index coverage, not worker-side
+				// evaluation counts; resumed shards cost this run nothing.
+				out.evaluated += st.Covered
+			}
+		}
+	}
+	if err != nil {
+		return out, err
+	}
+	if report.Degraded != nil && !report.Degraded.Complete() {
+		out.curve = report.Degraded.Curve
+		out.degraded = report.Degraded
+		return out, nil
+	}
+	out.curve = report.Curve
+	if report.Degraded != nil {
+		// AllowPartial was requested but every index was covered anyway:
+		// the merge is exact, so serve it as one.
+		out.curve = report.Degraded.Curve
+	}
+	if rmErr := os.RemoveAll(dir); rmErr != nil {
+		s.logf("serve: cleaning spool %s: %v", dir, rmErr)
+	}
+	return out, nil
+}

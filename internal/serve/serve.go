@@ -101,6 +101,33 @@ type Config struct {
 	// MaxShards bounds the per-request shard count; <= 0 means 64.
 	MaxShards int
 
+	// WorkerDir, when set, enables the fleet worker endpoint POST
+	// /v1/shard (docs/fleet-protocol.md): dispatched shard slices run as
+	// checkpointed shard jobs under WorkerDir/<digest prefix>, so a
+	// retried dispatch resumes instead of restarting. Empty disables the
+	// endpoint (404 worker_disabled).
+	WorkerDir string
+
+	// FleetWorkers, when non-empty, switches spooled sharded derivations
+	// (request field "shards" > 1) from in-process supervision to fleet
+	// dispatch: slices are POSTed to these worker base URLs
+	// (internal/fleet) with retry, quarantine, and speculation owned by
+	// the coordinator. Completed partials still land in the spool, so
+	// drain/resume semantics are unchanged.
+	FleetWorkers []string
+
+	// FleetPerWorker caps concurrent shard dispatches per fleet worker
+	// (<= 0 means the fleet default); FleetSpeculateAfter enables
+	// speculative re-execution of straggler slices on idle workers after
+	// that delay (0 disables speculation).
+	FleetPerWorker      int
+	FleetSpeculateAfter time.Duration
+
+	// FleetClient overrides the coordinator's HTTP client (nil means a
+	// default with sane timeouts) — also the fault-injection seam fleet
+	// transport tests use.
+	FleetClient *http.Client
+
 	// Logf, when non-nil, receives operational log lines (recovered
 	// panics with stacks, spool cleanup problems, shard retries).
 	Logf func(format string, args ...any)
@@ -141,6 +168,11 @@ type Server struct {
 	draining atomic.Bool
 	flightMu sync.Mutex
 	wg       sync.WaitGroup
+
+	// workerLocks serializes concurrent /v1/shard runs per checkpoint
+	// path (see lockShardPath); workerMu guards the table.
+	workerMu    sync.Mutex
+	workerLocks map[string]*wlock
 }
 
 // New constructs a Server from cfg, resolving defaults.
@@ -180,6 +212,7 @@ func New(cfg Config) *Server {
 		cancelBase: cancel,
 	}
 	s.mux.HandleFunc("/v1/curve", s.handleCurve)
+	s.mux.HandleFunc("/v1/shard", s.handleShard)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/stats", s.handleStats)
@@ -548,6 +581,9 @@ func (s *Server) spooledDerive(d *derivation, shards int, allowPartial bool) der
 		// derivation itself does not depend on it.
 		if err := writeSpoolSpec(dir, d, shards); err != nil {
 			s.logf("serve: writing %s in spool %s: %v", spoolSpecFile, dir, err)
+		}
+		if len(s.cfg.FleetWorkers) > 0 {
+			return s.fleetDerive(ctx, d, dir, shards, allowPartial)
 		}
 		report, err := supervise.Run(ctx, shards, d.mkJob, supervise.Options{
 			Dir:             dir,

@@ -108,6 +108,12 @@ func (s *Server) ResumeOrphans(ctx context.Context) (int, error) {
 			continue
 		}
 		dir := filepath.Join(s.cfg.SpoolDir, ent.Name())
+		if s.cfg.WorkerDir != "" && dir == filepath.Clean(s.cfg.WorkerDir) {
+			// The worker endpoint's own checkpoint tree (a sibling inside
+			// the spool when orojenesisd runs with -worker): its shards
+			// belong to remote coordinators, not this server's cache.
+			continue
+		}
 		env, err := readSpoolSpec(dir)
 		if err != nil {
 			if errors.Is(err, os.ErrNotExist) {

@@ -16,6 +16,16 @@ type counters struct {
 	deadlines   atomic.Int64
 	evaluated   atomic.Int64
 	deriveNanos atomic.Int64
+
+	// Worker side of the fleet protocol (POST /v1/shard).
+	workerRequests atomic.Int64
+	workerShards   atomic.Int64
+
+	// Coordinator side: totals from fleet.Report after each fleet run.
+	fleetDispatches   atomic.Int64
+	fleetRetries      atomic.Int64
+	fleetSpeculations atomic.Int64
+	fleetQuarantines  atomic.Int64
 }
 
 // Stats is the GET /stats response: a point-in-time snapshot of the
@@ -58,6 +68,23 @@ type Stats struct {
 	MappingsEvaluated int64   `json:"mappings_evaluated"`
 	DeriveSeconds     float64 `json:"derive_seconds"`
 	MappingsPerSec    float64 `json:"mappings_per_sec"`
+
+	// WorkerRequests counts every request to the fleet worker endpoint
+	// POST /v1/shard; WorkerShards the shard slices this process derived
+	// to completion for remote coordinators.
+	WorkerRequests int64 `json:"worker_requests"`
+	WorkerShards   int64 `json:"worker_shards"`
+
+	// Coordinator-side fleet totals (zero unless the server dispatches
+	// to -fleet workers): FleetDispatches counts shard dispatches
+	// (including speculative duplicates), FleetRetries retry rounds after
+	// failed dispatches, FleetSpeculations speculative duplicates
+	// launched on stragglers, FleetQuarantines invalid responses (and
+	// corrupt spool partials) set aside.
+	FleetDispatches   int64 `json:"fleet_dispatches"`
+	FleetRetries      int64 `json:"fleet_retries"`
+	FleetSpeculations int64 `json:"fleet_speculations"`
+	FleetQuarantines  int64 `json:"fleet_quarantines"`
 }
 
 // Snapshot assembles the current Stats.
@@ -91,5 +118,11 @@ func (s *Server) Snapshot() Stats {
 		MappingsEvaluated: eval,
 		DeriveSeconds:     (time.Duration(nanos)).Seconds(),
 		MappingsPerSec:    mps,
+		WorkerRequests:    s.stats.workerRequests.Load(),
+		WorkerShards:      s.stats.workerShards.Load(),
+		FleetDispatches:   s.stats.fleetDispatches.Load(),
+		FleetRetries:      s.stats.fleetRetries.Load(),
+		FleetSpeculations: s.stats.fleetSpeculations.Load(),
+		FleetQuarantines:  s.stats.fleetQuarantines.Load(),
 	}
 }

@@ -2,13 +2,16 @@
 // with go/ast, failing (exit 1) with a file:line listing when either is
 // violated:
 //
-//  1. Every package under internal/ (and the root orojenesis facade) has
-//     a package doc comment, so each package states which paper section
-//     or figure it reproduces.
+//  1. Every package under internal/ and cmd/ (and the root orojenesis
+//     facade) has a package doc comment, so each package states which
+//     paper section or figure it reproduces.
 //  2. Every exported top-level identifier in the core packages — pareto,
-//     traverse, bound, shard, supervise, serve, workload — has a doc
-//     comment. A group comment on a const/var block covers the whole
+//     traverse, bound, shard, supervise, serve, workload, fleet — has a
+//     doc comment. A group comment on a const/var block covers the whole
 //     block.
+//  3. Every "docs/<name>.md" reference in a comment points at a file
+//     that exists, so doc comments cannot drift away from the documents
+//     they cite (e.g. docs/fleet-protocol.md, docs/shard-format.md).
 //
 // Usage (from the module root, as `make docs` does):
 //
@@ -22,6 +25,7 @@ import (
 	"go/token"
 	"os"
 	"path/filepath"
+	"regexp"
 	"sort"
 	"strings"
 )
@@ -36,7 +40,12 @@ var strictDirs = map[string]bool{
 	"internal/supervise": true,
 	"internal/serve":     true,
 	"internal/workload":  true,
+	"internal/fleet":     true,
 }
+
+// docRefPattern matches module-relative documentation references in
+// comments, e.g. "docs/fleet-protocol.md".
+var docRefPattern = regexp.MustCompile(`\bdocs/[A-Za-z0-9._-]+\.md\b`)
 
 func main() {
 	root := "."
@@ -70,31 +79,33 @@ func main() {
 }
 
 // packageDirs returns the module-relative directories doccheck audits:
-// the root package plus every directory under internal/ that contains Go
-// files, testdata and vendored trees excluded.
+// the root package plus every directory under internal/ and cmd/ that
+// contains Go files, testdata and vendored trees excluded.
 func packageDirs(root string) ([]string, error) {
 	dirs := []string{"."}
-	err := filepath.WalkDir(filepath.Join(root, "internal"), func(path string, d os.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if !d.IsDir() {
-			return nil
-		}
-		if d.Name() == "testdata" || strings.HasPrefix(d.Name(), ".") {
-			return filepath.SkipDir
-		}
-		if hasGoFiles(path) {
-			rel, err := filepath.Rel(root, path)
+	for _, top := range []string{"internal", "cmd"} {
+		err := filepath.WalkDir(filepath.Join(root, top), func(path string, d os.DirEntry, err error) error {
 			if err != nil {
 				return err
 			}
-			dirs = append(dirs, filepath.ToSlash(rel))
+			if !d.IsDir() {
+				return nil
+			}
+			if d.Name() == "testdata" || strings.HasPrefix(d.Name(), ".") {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				rel, err := filepath.Rel(root, path)
+				if err != nil {
+					return err
+				}
+				dirs = append(dirs, filepath.ToSlash(rel))
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
 	}
 	sort.Strings(dirs)
 	return dirs, nil
@@ -139,11 +150,11 @@ func checkDir(root, dir string) ([]string, error) {
 		if !hasPackageDoc(pkg) {
 			problems = append(problems, fmt.Sprintf("%s: package %s has no package doc comment", dir, name))
 		}
-		if !strictDirs[dir] {
-			continue
-		}
 		for _, file := range pkg.Files {
-			problems = append(problems, checkExported(fset, file)...)
+			problems = append(problems, checkDocRefs(root, fset, file)...)
+			if strictDirs[dir] {
+				problems = append(problems, checkExported(fset, file)...)
+			}
 		}
 	}
 	sort.Strings(problems)
@@ -157,6 +168,25 @@ func hasPackageDoc(pkg *ast.Package) bool {
 		}
 	}
 	return false
+}
+
+// checkDocRefs reports every "docs/<name>.md" reference in file's
+// comments that does not resolve to a file under the module root — the
+// cross-check keeping doc comments and the docs/ tree in sync.
+func checkDocRefs(root string, fset *token.FileSet, file *ast.File) []string {
+	var problems []string
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			for _, ref := range docRefPattern.FindAllString(c.Text, -1) {
+				if _, err := os.Stat(filepath.Join(root, filepath.FromSlash(ref))); err != nil {
+					p := fset.Position(c.Pos())
+					problems = append(problems, fmt.Sprintf("%s:%d: comment references %s, which does not exist",
+						filepath.ToSlash(p.Filename), p.Line, ref))
+				}
+			}
+		}
+	}
+	return problems
 }
 
 // checkExported reports every exported top-level declaration in file
