@@ -14,7 +14,7 @@ RACE_PKGS := ./internal/bound ./internal/pareto ./internal/fusion \
 # already shortened to milliseconds.
 ROBUST_PKGS := ./internal/shard ./internal/supervise ./internal/traverse
 
-.PHONY: all vet build test race robust serve fleet bench-json docs ci
+.PHONY: all vet build test race robust serve fleet chaos bench-json docs ci
 
 all: ci
 
@@ -56,8 +56,18 @@ serve:
 fleet:
 	go test -race -count=1 ./internal/fleet
 
+# The transport-chaos robustness matrix under the race detector: scripted
+# hangs, connection refusals, mid-body partitions, 5xx flaps, slow drips
+# and Retry-After storms injected per worker (internal/fleet/chaos); every
+# fault class must end in a byte-identical merge or a correctly annotated
+# degraded envelope, open breakers must shed load, and faster workers
+# must receive more shards (docs/fleet-protocol.md, "Health, membership
+# & breakers").
+chaos:
+	go test -race -count=1 -run '^TestChaos' ./internal/fleet
+
 # Machine-readable benchmark artifact: the paper-figure benchmark suite
-# (root package) parsed into BENCH_PR8.json by internal/tools/benchjson,
+# (root package) parsed into BENCH_PR9.json by internal/tools/benchjson,
 # followed by a delta report against the previous PR's artifact so
 # regressions are visible in the CI log. BENCHTIME=1x (the default) runs
 # each benchmark once — a smoke-level artifact for CI; raise it (e.g.
@@ -67,9 +77,9 @@ BENCH ?= .
 
 bench-json:
 	go test -run '^$$' -bench '$(BENCH)' -benchtime $(BENCHTIME) -benchmem . \
-		| go run ./internal/tools/benchjson -out BENCH_PR8.json
-	@if [ -f BENCH_PR7.json ]; then \
-		go run ./internal/tools/benchjson -delta BENCH_PR7.json BENCH_PR8.json; \
+		| go run ./internal/tools/benchjson -out BENCH_PR9.json
+	@if [ -f BENCH_PR8.json ]; then \
+		go run ./internal/tools/benchjson -delta BENCH_PR8.json BENCH_PR9.json; \
 	fi
 
-ci: vet build test race robust serve fleet docs
+ci: vet build test race robust serve fleet chaos docs

@@ -19,6 +19,14 @@
 // process a coordinator that dispatches its spooled sharded derivations
 // to those workers — with retries, straggler speculation, and digest
 // validation — and merges a curve byte-identical to deriving alone.
+// The coordinator keeps a health-probed worker registry across requests:
+// /readyz probes (-fleet-probe) and per-worker circuit breakers
+// (-fleet-breaker-failures, -fleet-breaker-cooldown) shed load from
+// failing workers, allocation prefers the highest observed throughput,
+// and Retry-After hints from saturated or draining workers are honored.
+// -fleet-file PATH replaces -fleet with a membership file reread on
+// SIGHUP, so workers join and leave the fleet without a restart; GET
+// /stats reports the membership's health gauges and per-worker detail.
 //
 // Example:
 //
@@ -48,10 +56,10 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
-	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cliutil"
 	"repro/internal/serve"
 )
 
@@ -76,6 +84,10 @@ func main() {
 	fleetList := flag.String("fleet", "", "comma-separated worker base URLs; spooled sharded derivations dispatch to them instead of deriving in-process (requires -spool)")
 	fleetPerWorker := flag.Int("fleet-per-worker", 0, "concurrent dispatches per fleet worker (0 = 2)")
 	fleetSpeculate := flag.Duration("fleet-speculate", 0, "re-dispatch straggling fleet shards to an idle worker after this delay (0 disables speculation)")
+	fleetFile := flag.String("fleet-file", "", "fleet membership file: one worker base URL per line, # comments; reread on SIGHUP to add/remove workers at runtime (requires -spool, excludes -fleet)")
+	fleetProbe := flag.Duration("fleet-probe", 0, "fleet worker health-probe interval (0 = 15s, negative disables probing)")
+	fleetBreakerFailures := flag.Int("fleet-breaker-failures", 0, "consecutive dispatch failures that open a fleet worker's circuit breaker (0 = 3)")
+	fleetBreakerCooldown := flag.Duration("fleet-breaker-cooldown", 0, "how long an open breaker sheds load before a half-open probe dispatch (0 = 5s)")
 	flag.Parse()
 
 	if *spool != "" {
@@ -85,17 +97,28 @@ func main() {
 	}
 	var fleetWorkers []string
 	if *fleetList != "" {
+		if *fleetFile != "" {
+			log.Fatal("-fleet and -fleet-file are mutually exclusive: pick a static list or a reloadable file")
+		}
 		if *spool == "" {
 			log.Fatal("-fleet requires -spool: dispatched partials land in the spool so a killed coordinator can resume")
 		}
-		for _, u := range strings.Split(*fleetList, ",") {
-			if u = strings.TrimSpace(strings.TrimSuffix(u, "/")); u != "" {
-				fleetWorkers = append(fleetWorkers, u)
-			}
-		}
+		fleetWorkers = cliutil.ParseWorkerURLs(*fleetList)
 		if len(fleetWorkers) == 0 {
 			log.Fatal("-fleet lists no worker URLs")
 		}
+	}
+	if *fleetFile != "" {
+		if *spool == "" {
+			log.Fatal("-fleet-file requires -spool: dispatched partials land in the spool so a killed coordinator can resume")
+		}
+		urls, err := cliutil.ReadFleetFile(*fleetFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// An empty file is a valid empty membership: the server derives
+		// locally until a SIGHUP reload lists workers.
+		fleetWorkers = urls
 	}
 	workerDir := ""
 	if *worker {
@@ -113,23 +136,48 @@ func main() {
 	}
 
 	srv := serve.New(serve.Config{
-		Workers:             *workers,
-		MaxConcurrent:       *maxConcurrent,
-		MaxQueue:            *maxQueue,
-		QueueWait:           *queueWait,
-		DefaultTimeout:      *defaultTimeout,
-		MaxTimeout:          *maxTimeout,
-		CacheEntries:        *cacheEntries,
-		SpoolDir:            *spool,
-		CheckpointEvery:     *checkpoint,
-		ShardRetries:        *retries,
-		MaxShards:           *maxShards,
-		WorkerDir:           workerDir,
-		FleetWorkers:        fleetWorkers,
-		FleetPerWorker:      *fleetPerWorker,
-		FleetSpeculateAfter: *fleetSpeculate,
-		Logf:                log.Printf,
+		Workers:              *workers,
+		MaxConcurrent:        *maxConcurrent,
+		MaxQueue:             *maxQueue,
+		QueueWait:            *queueWait,
+		DefaultTimeout:       *defaultTimeout,
+		MaxTimeout:           *maxTimeout,
+		CacheEntries:         *cacheEntries,
+		SpoolDir:             *spool,
+		CheckpointEvery:      *checkpoint,
+		ShardRetries:         *retries,
+		MaxShards:            *maxShards,
+		WorkerDir:            workerDir,
+		FleetWorkers:         fleetWorkers,
+		FleetPerWorker:       *fleetPerWorker,
+		FleetSpeculateAfter:  *fleetSpeculate,
+		FleetProbeInterval:   *fleetProbe,
+		FleetBreakerFailures: *fleetBreakerFailures,
+		FleetBreakerCooldown: *fleetBreakerCooldown,
+		Logf:                 log.Printf,
 	})
+
+	// SIGHUP rereads -fleet-file and reconciles the live membership:
+	// workers added to the file join mid-run and pick up queued shards;
+	// removed workers stop receiving dispatches (in-flight ones finish
+	// or fail over). See docs/fleet-protocol.md, "Health, membership &
+	// breakers".
+	if *fleetFile != "" {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				urls, err := cliutil.ReadFleetFile(*fleetFile)
+				if err != nil {
+					log.Printf("fleet membership reload failed (membership unchanged): %v", err)
+					continue
+				}
+				added, removed := srv.SetFleetWorkers(urls)
+				log.Printf("fleet membership reloaded from %s: %d worker(s), %d added, %d removed",
+					*fleetFile, len(urls), added, removed)
+			}
+		}()
+	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,

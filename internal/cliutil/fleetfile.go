@@ -1,0 +1,41 @@
+package cliutil
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// ParseWorkerURLs splits a comma-separated fleet worker list into
+// normalized base URLs: whitespace-trimmed, trailing slashes dropped,
+// empty entries skipped. The shared parser behind the -fleet flags.
+func ParseWorkerURLs(s string) []string {
+	var urls []string
+	for _, u := range strings.Split(s, ",") {
+		if u = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(u), "/")); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	return urls
+}
+
+// ReadFleetFile reads a fleet membership file: one worker base URL per
+// line (commas within a line also separate entries), blank lines and
+// #-comment lines ignored. An existing empty file is a valid empty
+// membership — the coordinator derives locally until workers appear —
+// so callers can reload it at runtime (orojenesisd rereads -fleet-file
+// on SIGHUP) to add and remove workers without a restart.
+func ReadFleetFile(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("fleet file: %w", err)
+	}
+	var urls []string
+	for _, line := range strings.Split(string(data), "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		urls = append(urls, ParseWorkerURLs(line)...)
+	}
+	return urls, nil
+}

@@ -1,0 +1,55 @@
+package cliutil
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestParseWorkerURLs(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{" , , ", nil},
+		{"http://a:8081", []string{"http://a:8081"}},
+		{"http://a:8081/, http://b:8082 ,", []string{"http://a:8081", "http://b:8082"}},
+	}
+	for _, tc := range cases {
+		if got := ParseWorkerURLs(tc.in); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("ParseWorkerURLs(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestReadFleetFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fleet.txt")
+	content := "# the fleet\nhttp://a:8081/\n\nhttp://b:8082 # joined later\nhttp://c:8083, http://d:8084\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFleetFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"http://a:8081", "http://b:8082", "http://c:8083", "http://d:8084"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ReadFleetFile = %v, want %v", got, want)
+	}
+
+	// An empty file is a valid empty membership, not an error.
+	empty := filepath.Join(t.TempDir(), "empty.txt")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := ReadFleetFile(empty); err != nil || len(got) != 0 {
+		t.Fatalf("ReadFleetFile(empty) = %v, %v; want empty membership, nil error", got, err)
+	}
+
+	// A missing file is an error (membership stays unchanged on reload).
+	if _, err := ReadFleetFile(filepath.Join(t.TempDir(), "missing.txt")); err == nil {
+		t.Fatal("ReadFleetFile(missing) succeeded, want error")
+	}
+}

@@ -8,8 +8,8 @@ import (
 	"log"
 	"os"
 	"os/signal"
-	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/fleet"
 	"repro/internal/pareto"
@@ -48,6 +48,16 @@ type ShardFlags struct {
 	// these workers over HTTP (docs/fleet-protocol.md) instead of derived
 	// in-process.
 	Fleet string
+	// FleetProbe is the worker health-probe interval of a distributed
+	// run (0 disables probing — CLI runs are finite, so dispatch
+	// outcomes alone usually suffice).
+	FleetProbe time.Duration
+	// FleetBreakerFailures is the consecutive-failure threshold that
+	// opens a worker's circuit breaker (0 = default).
+	FleetBreakerFailures int
+	// FleetBreakerCooldown is how long an open breaker sheds load
+	// before admitting a half-open probe dispatch (0 = default).
+	FleetBreakerCooldown time.Duration
 }
 
 // AddShardFlags registers the shared shard flag block on fs. indexNoun
@@ -63,6 +73,9 @@ func AddShardFlags(fs *flag.FlagSet, indexNoun string) *ShardFlags {
 	fs.IntVar(&f.Retries, "retries", 0, "per-shard retry budget in -supervise mode (0 = default, negative = none)")
 	fs.BoolVar(&f.AllowPartial, "allow-partial", false, "in -supervise mode, emit an annotated degraded curve when shards fail permanently instead of refusing")
 	fs.StringVar(&f.Fleet, "fleet", "", "comma-separated worker base URLs; with -supervise N, dispatch the shards to these workers over HTTP instead of deriving locally")
+	fs.DurationVar(&f.FleetProbe, "fleet-probe", 0, "health-probe interval for -fleet workers (0 disables probing for the run)")
+	fs.IntVar(&f.FleetBreakerFailures, "fleet-breaker-failures", 0, "consecutive dispatch failures that open a -fleet worker's circuit breaker (0 = 3)")
+	fs.DurationVar(&f.FleetBreakerCooldown, "fleet-breaker-cooldown", 0, "how long an open -fleet breaker sheds load before a half-open probe dispatch (0 = 5s)")
 	return f
 }
 
@@ -202,12 +215,7 @@ func RunFleet(cfg ShardRunConfig, f *ShardFlags, spec *workload.Spec, workers in
 	if f.ShardDir == "" {
 		log.Fatal("-fleet requires -shard-dir DIR for the spooled partial frontiers")
 	}
-	var urls []string
-	for _, u := range strings.Split(f.Fleet, ",") {
-		if u = strings.TrimSpace(strings.TrimSuffix(u, "/")); u != "" {
-			urls = append(urls, u)
-		}
-	}
+	urls := ParseWorkerURLs(f.Fleet)
 	if len(urls) == 0 {
 		log.Fatal("-fleet lists no worker URLs")
 	}
@@ -224,8 +232,13 @@ func RunFleet(cfg ShardRunConfig, f *ShardFlags, spec *workload.Spec, workers in
 		MaxRetries:      f.Retries,
 		CheckpointEvery: f.Checkpoint,
 		AllowPartial:    f.AllowPartial,
-		Exec:            exec,
-		Logf:            log.Printf,
+		ProbeInterval:   f.FleetProbe,
+		Breaker: fleet.BreakerConfig{
+			Failures: f.FleetBreakerFailures,
+			Cooldown: f.FleetBreakerCooldown,
+		},
+		Exec: exec,
+		Logf: log.Printf,
 	})
 	if report != nil && report.Interrupted {
 		log.Printf("interrupted; completed shard partials are spooled under %s — rerun the same command to resume", f.ShardDir)
@@ -241,8 +254,8 @@ func RunFleet(cfg ShardRunConfig, f *ShardFlags, spec *workload.Spec, workers in
 			fmt.Printf("shard %s: quarantined invalid response/partial -> %s\n", st.Plan, q)
 		}
 	}
-	fmt.Printf("fleet of %d workers derived %d shards in %d dispatches (%d retries, %d speculations)\n",
-		len(urls), f.Supervise, report.Dispatches, report.Retries, report.Speculations)
+	fmt.Printf("fleet of %d workers derived %d shards in %d dispatches (%d retries, %d speculations, %d deferrals)\n",
+		len(urls), f.Supervise, report.Dispatches, report.Retries, report.Speculations, report.Deferrals)
 	emitMerged(cfg, f, report.Curve, report.Degraded)
 }
 

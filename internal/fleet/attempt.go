@@ -9,6 +9,9 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strconv"
+	"strings"
+	"time"
 
 	"repro/internal/shard"
 )
@@ -39,6 +42,67 @@ type PermanentError struct {
 // Error renders the rejection.
 func (e *PermanentError) Error() string {
 	return fmt.Sprintf("fleet: worker %s rejected dispatch: %d %s: %s", e.Worker, e.Status, e.Code, e.Message)
+}
+
+// RetryAfterError is a polite worker deferral: a 429 (saturated) or 503
+// (draining) that carried a Retry-After hint. The coordinator holds that
+// specific worker out of allocation for the hinted duration and retries
+// the shard elsewhere immediately — without burning the retry budget or
+// sleeping a generic backoff, because the worker told us exactly what is
+// wrong and for how long (docs/fleet-protocol.md "Health, membership &
+// breakers"). Deferrals never trip the worker's circuit breaker.
+type RetryAfterError struct {
+	// Worker is the deferring worker's base URL; Status its HTTP status
+	// (429 or 503).
+	Worker string
+	Status int
+	// After is the parsed, clamped hold duration.
+	After time.Duration
+	// Code and Message are the structured error payload
+	// (serve.ErrorInfo schema), when the worker sent one.
+	Code    string
+	Message string
+}
+
+// Error renders the deferral.
+func (e *RetryAfterError) Error() string {
+	return fmt.Sprintf("fleet: worker %s deferred dispatch for %v: %d %s: %s", e.Worker, e.After, e.Status, e.Code, e.Message)
+}
+
+// maxRetryAfter clamps worker Retry-After hints so a confused (or
+// hostile) worker cannot hold itself out of the fleet indefinitely.
+const maxRetryAfter = time.Minute
+
+// parseRetryAfter parses a Retry-After header value — delta-seconds or
+// an HTTP-date — into a clamped hold duration. A date in the past parses
+// as a zero hold (the worker says "now is fine").
+func parseRetryAfter(h string, now time.Time) (time.Duration, bool) {
+	h = strings.TrimSpace(h)
+	if h == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(h); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		return clampRetryAfter(time.Duration(secs) * time.Second), true
+	}
+	if t, err := http.ParseTime(h); err == nil {
+		d := t.Sub(now)
+		if d < 0 {
+			d = 0
+		}
+		return clampRetryAfter(d), true
+	}
+	return 0, false
+}
+
+// clampRetryAfter bounds a hold at maxRetryAfter.
+func clampRetryAfter(d time.Duration) time.Duration {
+	if d > maxRetryAfter {
+		return maxRetryAfter
+	}
+	return d
 }
 
 // errorEnvelope mirrors serve's error body without importing serve
@@ -98,8 +162,16 @@ func (c *coord) post(ctx context.Context, slotPath string, plan shard.Plan, expe
 		if resp.StatusCode >= 400 && resp.StatusCode < 500 && resp.StatusCode != http.StatusTooManyRequests {
 			return nil, "", &PermanentError{Worker: worker, Status: resp.StatusCode, Code: env.Error.Code, Message: env.Error.Message}
 		}
-		// 429 (saturated), 503 (draining/shutdown), 504 (worker deadline —
-		// its checkpoint survives) and 5xx all retry elsewhere.
+		// A 429 (saturated) or 503 (draining) with a Retry-After hint is a
+		// polite deferral: hold exactly that worker out for exactly that
+		// long instead of a generic backoff-and-avoid.
+		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+			if after, ok := parseRetryAfter(resp.Header.Get("Retry-After"), time.Now()); ok {
+				return nil, "", &RetryAfterError{Worker: worker, Status: resp.StatusCode, After: after, Code: env.Error.Code, Message: env.Error.Message}
+			}
+		}
+		// Unhinted 429/503, 504 (worker deadline — its checkpoint
+		// survives) and 5xx all retry elsewhere.
 		return nil, "", fmt.Errorf("fleet: worker %s answered %d %s: %s", worker, resp.StatusCode, env.Error.Code, env.Error.Message)
 	}
 

@@ -29,6 +29,16 @@
 //     worker, the slice is launched there too; the first valid response
 //     wins and the loser is cancelled. Duplicates are discarded after
 //     digest validation, so speculation never double-counts.
+//   - Fleet health and membership. The Registry tracks each worker's
+//     probed health (/readyz), a per-worker circuit breaker that opens
+//     on consecutive failures (or a windowed error rate) and sheds load
+//     until a half-open probe dispatch succeeds, Retry-After holds, and
+//     an EWMA shards/sec throughput estimate that allocation ranks by —
+//     fast workers get proportionally more dispatches. Membership is
+//     dynamic: workers added mid-run start receiving queued shards, and
+//     an emptied membership fails pending shards with ErrNoWorkers
+//     instead of hanging. See docs/fleet-protocol.md "Health, membership
+//     & breakers".
 //
 // Completed partials land in the supervise spool layout
 // (supervise.ShardPath under Options.Dir), written atomically by
@@ -49,7 +59,6 @@ import (
 	"net/http"
 	"os"
 	"sort"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -65,7 +74,27 @@ const (
 	// DefaultPerWorker is the per-worker concurrent-dispatch cap when
 	// Options.PerWorker is unset.
 	DefaultPerWorker = 2
+
+	// maxShardDeferrals bounds how many Retry-After deferrals one shard
+	// absorbs without burning retry budget; past it a deferral is treated
+	// as an ordinary retryable failure, so a fleet that politely defers
+	// forever still terminates.
+	maxShardDeferrals = 64
 )
+
+// ErrNoWorkers is returned (wrapped) when a dispatch finds the fleet
+// membership empty — every worker removed at runtime, or none
+// configured. Shards fail with it immediately rather than waiting for a
+// join that may never come.
+var ErrNoWorkers = errors.New("fleet: no workers in membership")
+
+// ErrRetriesExhausted marks (wrapped, alongside the last dispatch
+// error) a shard that spent its whole retry budget without a valid
+// response — the "every remaining worker is dead or lying" outcome.
+// errors.Is(err, ErrRetriesExhausted) holds for Run's error when any
+// shard failed this way and AllowPartial did not promote the run to a
+// degraded merge.
+var ErrRetriesExhausted = errors.New("fleet: retry budget exhausted")
 
 // ShardRequest is the body of POST /v1/shard — the coordinator→worker
 // half of the fleet wire protocol (docs/fleet-protocol.md). The response
@@ -152,8 +181,27 @@ type Options struct {
 
 	// Client is the HTTP client dispatches use; nil means
 	// http.DefaultClient. Injecting a client with a scripted
-	// http.RoundTripper is the fault-injection seam the fleet tests use.
+	// http.RoundTripper is the fault-injection seam the fleet and chaos
+	// tests use.
 	Client *http.Client
+
+	// Registry, when non-nil, is an externally owned membership the run
+	// dispatches through: health, breaker, hold and throughput state
+	// persist across runs (serve shares one Registry per server), and
+	// runtime Add/Remove/SetWorkers calls steer this run live. Workers
+	// listed in Options.Workers are joined to it. When nil, the run
+	// builds a private registry from Workers.
+	Registry *Registry
+
+	// ProbeInterval, when positive and the run owns its registry (no
+	// Options.Registry), probes each member's /readyz on this period for
+	// the duration of the run. An externally owned registry does its own
+	// probing (Registry.StartProbing).
+	ProbeInterval time.Duration
+
+	// Breaker tunes the per-worker circuit breakers of a run-owned
+	// registry; ignored when Options.Registry is set.
+	Breaker BreakerConfig
 
 	// Logf, when non-nil, receives human-readable progress and failure
 	// lines (retries, quarantines, speculation).
@@ -214,6 +262,10 @@ type ShardState struct {
 	Dispatches int
 	Speculated int
 
+	// Deferred counts Retry-After deferrals this shard absorbed (held
+	// the worker, retried elsewhere, no retry budget spent).
+	Deferred int
+
 	// Quarantined lists files holding invalid worker responses (and
 	// corrupt pre-existing spool partials) set aside for inspection.
 	Quarantined []string
@@ -245,26 +297,61 @@ type Report struct {
 	Degraded    *shard.Degraded
 	Interrupted bool
 
-	// Dispatches, Retries, Speculations and Quarantines aggregate the
-	// per-shard counts — the numbers serve feeds into /stats.
+	// Dispatches, Retries, Speculations, Quarantines and Deferrals
+	// aggregate the per-shard counts — the numbers serve feeds into
+	// /stats.
 	Dispatches   int64
 	Retries      int64
 	Speculations int64
 	Quarantines  int64
+	Deferrals    int64
+
+	// Workers is the per-worker health, breaker and throughput snapshot
+	// at the end of the run (Registry.Snapshot).
+	Workers []WorkerStatus
 }
 
 // coord is one Run invocation's shared state.
 type coord struct {
-	spec  *workload.Spec
-	data  []byte // canonical spec encoding shipped in every request
-	n     int
-	opts  *Options
-	alloc *allocator
+	spec *workload.Spec
+	data []byte // canonical spec encoding shipped in every request
+	n    int
+	opts *Options
+	reg  *Registry
 
 	dispatches   atomic.Int64
 	retries      atomic.Int64
 	speculations atomic.Int64
 	quarantines  atomic.Int64
+	deferrals    atomic.Int64
+}
+
+// record feeds one dispatch outcome into the registry's health books.
+// It runs in the dispatch goroutine so speculative losers' outcomes are
+// recorded too.
+func (c *coord) record(worker string, elapsed time.Duration, err error) {
+	var ra *RetryAfterError
+	var perm *PermanentError
+	switch {
+	case err == nil:
+		c.reg.success(worker, elapsed)
+	case errors.Is(err, context.Canceled):
+		// A cancelled dispatch — the run interrupted, or a speculation
+		// loser — says nothing about the worker's health.
+	case errors.As(err, &ra):
+		// A polite deferral holds exactly that worker for exactly the
+		// hinted duration; it never trips the breaker.
+		c.reg.hold(worker, ra.After)
+		c.reg.failure(worker, false, err.Error())
+	case errors.As(err, &perm):
+		// Deterministic spec rejections are about the request, not the
+		// worker.
+		c.reg.failure(worker, false, err.Error())
+	default:
+		// Transport errors, 5xx, invalid responses, and attempt timeouts
+		// (context.DeadlineExceeded — a hung worker) trip the breaker.
+		c.reg.failure(worker, true, err.Error())
+	}
 }
 
 // Run dispatches an n-shard derivation of spec across the fleet and
@@ -282,7 +369,7 @@ func Run(ctx context.Context, spec *workload.Spec, n int, opts Options) (*Report
 	if n < 1 {
 		return nil, fmt.Errorf("fleet: shard count %d, want >= 1", n)
 	}
-	if len(opts.Workers) == 0 {
+	if len(opts.Workers) == 0 && opts.Registry == nil {
 		return nil, fmt.Errorf("fleet: no workers")
 	}
 	if opts.Dir == "" {
@@ -302,16 +389,33 @@ func Run(ctx context.Context, spec *workload.Spec, n int, opts Options) (*Report
 		return nil, err
 	}
 
-	c := &coord{
-		spec:  spec,
-		data:  data,
-		n:     n,
-		opts:  &opts,
-		alloc: newAllocator(opts.Workers, opts.perWorker()),
+	reg := opts.Registry
+	if reg == nil {
+		reg = NewRegistry(opts.Workers, RegistryConfig{
+			PerWorker: opts.perWorker(),
+			Breaker:   opts.Breaker,
+			Logf:      opts.Logf,
+		})
+		if opts.ProbeInterval > 0 {
+			pctx, pcancel := context.WithCancel(ctx)
+			defer pcancel()
+			reg.StartProbing(pctx, opts.ProbeInterval, opts.client())
+		}
+	} else {
+		for _, w := range opts.Workers {
+			reg.Add(w)
+		}
 	}
-	// Wake allocator waiters when the run is cancelled, so shards blocked
+	c := &coord{
+		spec: spec,
+		data: data,
+		n:    n,
+		opts: &opts,
+		reg:  reg,
+	}
+	// Wake registry waiters when the run is cancelled, so shards blocked
 	// on a slot observe ctx promptly.
-	stopWake := context.AfterFunc(ctx, c.alloc.wakeAll)
+	stopWake := context.AfterFunc(ctx, c.reg.wakeAll)
 	defer stopWake()
 
 	report := &Report{Shards: make([]ShardState, n)}
@@ -328,6 +432,8 @@ func Run(ctx context.Context, spec *workload.Spec, n int, opts Options) (*Report
 	report.Retries = c.retries.Load()
 	report.Speculations = c.speculations.Load()
 	report.Quarantines = c.quarantines.Load()
+	report.Deferrals = c.deferrals.Load()
+	report.Workers = c.reg.Snapshot()
 
 	if err := ctx.Err(); err != nil {
 		report.Interrupted = true
@@ -335,10 +441,10 @@ func Run(ctx context.Context, spec *workload.Spec, n int, opts Options) (*Report
 		return report, err
 	}
 
-	var failed []string
+	var failed []error
 	for k := range report.Shards {
 		if st := &report.Shards[k]; !st.Completed {
-			failed = append(failed, fmt.Sprintf("shard %s: %v", st.Plan, st.Err))
+			failed = append(failed, st.Err)
 		}
 	}
 	if len(failed) == 0 {
@@ -354,8 +460,11 @@ func Run(ctx context.Context, spec *workload.Spec, n int, opts Options) (*Report
 		return report, nil
 	}
 	if !opts.AllowPartial {
-		return report, fmt.Errorf("fleet: %d of %d shards failed permanently (rerun to retry, or allow a degraded merge):\n  %s",
-			len(failed), n, strings.Join(failed, "\n  "))
+		// Wrapping the joined shard errors keeps the sentinels reachable:
+		// errors.Is(err, ErrRetriesExhausted) and errors.Is(err,
+		// ErrNoWorkers) hold at the run level.
+		return report, fmt.Errorf("fleet: %d of %d shards failed permanently (rerun to retry, or allow a degraded merge): %w",
+			len(failed), n, errors.Join(failed...))
 	}
 	degraded, err := mergeDegraded(report, &opts)
 	if err != nil {
@@ -436,7 +545,7 @@ func (c *coord) runShard(ctx context.Context, k int) ShardState {
 	retries := c.opts.maxRetries()
 
 	avoid := ""
-	for attempt := 0; ; attempt++ {
+	for attempt := 0; ; {
 		partial, worker, aerr := c.attemptWithSpeculation(ctx, &st, plan, &expected, avoid)
 		if aerr == nil {
 			if werr := shard.WritePartial(st.Path, partial); werr != nil {
@@ -451,18 +560,37 @@ func (c *coord) runShard(ctx context.Context, k int) ShardState {
 			st.Err = ctx.Err()
 			return st
 		}
+		if errors.Is(aerr, ErrNoWorkers) {
+			// An emptied membership fails the shard immediately: waiting
+			// would hang on a join that may never come, and retrying cannot
+			// conjure a worker.
+			st.Err = fmt.Errorf("fleet: shard %s: %w", plan, aerr)
+			return st
+		}
 		var perm *PermanentError
 		if errors.As(aerr, &perm) {
 			st.Err = fmt.Errorf("fleet: shard %s rejected deterministically: %w", plan, aerr)
 			return st
 		}
+		// A Retry-After deferral already held the worker (coord.record);
+		// retry elsewhere immediately without burning budget or backing
+		// off — bounded so perpetual deferrals still terminate.
+		var ra *RetryAfterError
+		if errors.As(aerr, &ra) && st.Deferred < maxShardDeferrals {
+			st.Deferred++
+			c.deferrals.Add(1)
+			c.opts.logf("fleet: shard %s deferred by %s for %v; retrying elsewhere", plan, ra.Worker, ra.After)
+			avoid = ""
+			continue
+		}
 		if attempt >= retries {
-			st.Err = fmt.Errorf("fleet: shard %s failed after %d dispatches: %w", plan, st.Dispatches, aerr)
+			st.Err = fmt.Errorf("fleet: shard %s failed after %d dispatches: %w: %w", plan, st.Dispatches, ErrRetriesExhausted, aerr)
 			return st
 		}
 		avoid = worker
 		c.retries.Add(1)
 		delay := backoffDelay(base, maxb, attempt, rng)
+		attempt++
 		c.opts.logf("fleet: shard %s dispatch failed (%v); retrying in %v", plan, aerr, delay)
 		select {
 		case <-time.After(delay):
@@ -490,7 +618,7 @@ type attemptResult struct {
 func (c *coord) attemptWithSpeculation(ctx context.Context, st *ShardState, plan shard.Plan, expected *shard.Manifest, avoid string) (*shard.Partial, string, error) {
 	actx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	primary, err := c.alloc.acquire(actx, avoid)
+	primary, err := c.reg.acquire(actx, avoid)
 	if err != nil {
 		return nil, "", err
 	}
@@ -500,8 +628,13 @@ func (c *coord) attemptWithSpeculation(ctx context.Context, st *ShardState, plan
 		st.Dispatches++
 		c.dispatches.Add(1)
 		go func() {
-			defer c.alloc.release(worker)
+			defer c.reg.release(worker)
+			start := time.Now()
 			p, qpath, aerr := c.post(actx, st.Path, plan, expected, worker)
+			// Health accounting happens here, in the dispatch goroutine, so
+			// speculation losers' outcomes reach the breaker and the
+			// throughput estimate too.
+			c.record(worker, time.Since(start), aerr)
 			results <- attemptResult{partial: p, worker: worker, qpath: qpath, err: aerr}
 		}()
 	}
@@ -535,7 +668,7 @@ func (c *coord) attemptWithSpeculation(ctx context.Context, st *ShardState, plan
 			}
 		case <-spec:
 			spec = nil
-			if w, ok := c.alloc.tryAcquire(inFlight); ok {
+			if w, ok := c.reg.tryAcquire(inFlight); ok {
 				inFlight[w] = true
 				pending++
 				st.Speculated++

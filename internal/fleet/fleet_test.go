@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -318,6 +319,7 @@ func TestFleetFaultMatrix(t *testing.T) {
 		name           string
 		faulty         func(t *testing.T) *httptest.Server
 		wantQuarantine bool
+		wantDeferral   bool
 	}{
 		{
 			name: "torn partial",
@@ -354,10 +356,25 @@ func TestFleetFaultMatrix(t *testing.T) {
 			wantQuarantine: true,
 		},
 		{
+			// A draining 503 with a Retry-After hint is a polite deferral:
+			// the worker is held out of allocation, and no retry budget or
+			// backoff is spent.
 			name: "draining worker",
 			faulty: func(t *testing.T) *httptest.Server {
 				ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 					w.Header().Set("Retry-After", "1")
+					http.Error(w, `{"error":{"code":"draining","message":"worker is draining"}}`, http.StatusServiceUnavailable)
+				}))
+				t.Cleanup(ts.Close)
+				return ts
+			},
+			wantDeferral: true,
+		},
+		{
+			// An unhinted 503 stays on the generic retry-elsewhere path.
+			name: "draining worker without hint",
+			faulty: func(t *testing.T) *httptest.Server {
+				ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 					http.Error(w, `{"error":{"code":"draining","message":"worker is draining"}}`, http.StatusServiceUnavailable)
 				}))
 				t.Cleanup(ts.Close)
@@ -396,7 +413,14 @@ func TestFleetFaultMatrix(t *testing.T) {
 			if string(got) != want {
 				t.Fatalf("curve under %s differs from single-process derive", tc.name)
 			}
-			if report.Retries == 0 {
+			if tc.wantDeferral {
+				if report.Deferrals == 0 {
+					t.Fatalf("%s cost no deferrals — the deferring worker was never dispatched to", tc.name)
+				}
+				if report.Retries != 0 {
+					t.Fatalf("%s burned %d retries; a Retry-After deferral must not spend the budget", tc.name, report.Retries)
+				}
+			} else if report.Retries == 0 {
 				t.Fatalf("%s cost no retries — the faulty worker was never dispatched to", tc.name)
 			}
 			if tc.wantQuarantine && report.Quarantines == 0 {
@@ -404,6 +428,63 @@ func TestFleetFaultMatrix(t *testing.T) {
 			}
 			assertCleanSpool(t, dir)
 		})
+	}
+}
+
+// TestFleetRetryAfterRecovery is the draining-worker regression test: a
+// worker that answers 503 + Retry-After while draining and then
+// recovers must be waited out, not written off — the deferrals spend no
+// retry budget (pinned by running with the budget at zero), and the run
+// completes exactly once the worker comes back.
+func TestFleetRetryAfterRecovery(t *testing.T) {
+	dir := t.TempDir()
+	wdir := t.TempDir()
+	var requests atomic.Int64
+	const drainingFor = 5
+	worker := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if requests.Add(1) <= drainingFor {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, `{"error":{"code":"draining","message":"worker is draining"}}`, http.StatusServiceUnavailable)
+			return
+		}
+		req := decodeShardRequest(t, r)
+		data, err := deriveShardBytes(r.Context(), wdir, req)
+		if err != nil {
+			http.Error(w, `{"error":{"code":"internal","message":"test worker failed"}}`, http.StatusInternalServerError)
+			return
+		}
+		w.Write(data)
+	}))
+	defer worker.Close()
+
+	report, err := Run(context.Background(), testSpec(), 1, Options{
+		Workers:    []string{worker.URL},
+		Dir:        dir,
+		MaxRetries: -1, // zero budget: any non-deferral retry would fail the run
+	})
+	if err != nil {
+		t.Fatalf("run against a recovering worker failed: %v", err)
+	}
+	if report.Deferrals != drainingFor {
+		t.Fatalf("deferrals %d, want %d", report.Deferrals, drainingFor)
+	}
+	if report.Retries != 0 {
+		t.Fatalf("retries %d; deferrals must not spend the budget", report.Retries)
+	}
+	if report.Shards[0].Deferred != drainingFor {
+		t.Fatalf("shard deferred count %d, want %d", report.Shards[0].Deferred, drainingFor)
+	}
+	got, err := json.Marshal(report.Curve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != wantCurve(t) {
+		t.Fatal("curve after recovery differs from single-process derive")
+	}
+	// The deferring worker's breaker never tripped: a polite 503 is not a
+	// health failure.
+	if ws := report.Workers[0]; ws.Breaker != "closed" {
+		t.Fatalf("worker breaker %q after deferrals, want closed", ws.Breaker)
 	}
 }
 
@@ -541,24 +622,67 @@ func TestFleetQuarantinesForeignSpoolPartial(t *testing.T) {
 	}
 }
 
-// TestAllocator unit-tests the slot allocator's preferences.
+// TestAllocator unit-tests the registry's allocation preferences: the
+// ranking pickLocked applies under the lock.
 func TestAllocator(t *testing.T) {
-	a := newAllocator([]string{"A", "B"}, 2)
-	if w, ok := a.pickLocked("", nil); !ok || w != "A" {
+	r := NewRegistry([]string{"A", "B"}, RegistryConfig{PerWorker: 2})
+	now := time.Now()
+	pick := func(avoid string, exclude map[string]bool) (string, bool) {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		w, _, ok := r.pickLocked(avoid, exclude, now)
+		return w, ok
+	}
+	if w, ok := pick("", nil); !ok || w != "A" {
 		t.Fatalf("first pick %q, want A (listing order)", w)
 	}
-	if w, ok := a.pickLocked("A", nil); !ok || w != "B" {
+	if w, ok := pick("A", nil); !ok || w != "B" {
 		t.Fatalf("avoid=A pick %q, want B", w)
 	}
-	a.free["B"] = 0
-	if w, ok := a.pickLocked("A", nil); !ok || w != "A" {
+	r.members["B"].free = 0
+	if w, ok := pick("A", nil); !ok || w != "A" {
 		t.Fatalf("avoid=A with B exhausted pick %q, want A (avoid is better than deadlock)", w)
 	}
-	if _, ok := a.pickLocked("", map[string]bool{"A": true}); ok {
+	if _, ok := pick("", map[string]bool{"A": true}); ok {
 		t.Fatal("exclude=A with B exhausted picked a worker")
 	}
-	a.free["A"], a.free["B"] = 1, 2
-	if w, _ := a.pickLocked("", nil); w != "B" {
-		t.Fatalf("least-loaded pick %q, want B (2 free vs 1)", w)
+	r.members["A"].free, r.members["B"].free = 1, 2
+	if w, _ := pick("", nil); w != "B" {
+		t.Fatalf("unobserved tie pick %q, want B (2 free slots vs 1)", w)
+	}
+
+	// Throughput beats free slots once both workers have history: A at 10
+	// shards/sec outranks B at 1 despite fewer free slots.
+	r.members["A"].completions, r.members["A"].ewma = 5, 10
+	r.members["B"].completions, r.members["B"].ewma = 5, 1
+	if w, _ := pick("", nil); w != "A" {
+		t.Fatalf("throughput pick %q, want A (10 shards/sec vs 1)", w)
+	}
+	// An unobserved worker is optimistically ranked above any measured one.
+	r.Add("C")
+	if w, _ := pick("", nil); w != "C" {
+		t.Fatalf("new-joiner pick %q, want C (unobserved => +Inf score)", w)
+	}
+	r.Remove("C")
+
+	// A Retry-After hold excludes the worker until it expires.
+	r.members["A"].holdUntil = now.Add(time.Minute)
+	if w, _ := pick("", nil); w != "B" {
+		t.Fatalf("held-A pick %q, want B", w)
+	}
+	r.members["A"].holdUntil = time.Time{}
+
+	// An open breaker excludes the worker during cooldown, then admits
+	// exactly one half-open probe that outranks everything.
+	r.members["A"].br.open(now)
+	if w, _ := pick("", nil); w != "B" {
+		t.Fatalf("open-breaker pick %q, want B", w)
+	}
+	r.members["A"].br.openedAt = now.Add(-2 * DefaultBreakerCooldown)
+	r.mu.Lock()
+	w, probe, ok := r.pickLocked("", nil, now)
+	r.mu.Unlock()
+	if !ok || w != "A" || !probe {
+		t.Fatalf("cooldown-elapsed pick %q probe=%v, want half-open probe on A", w, probe)
 	}
 }

@@ -9,9 +9,12 @@ import (
 )
 
 // fleetDerive runs a spooled sharded derivation by dispatching its
-// slices to the configured fleet workers (Config.FleetWorkers) instead
+// slices to the fleet membership (the server-lifetime registry seeded
+// from Config.FleetWorkers and reconciled by SetFleetWorkers) instead
 // of deriving them in-process — the coordinator half of
-// docs/fleet-protocol.md. The spool contract is identical to the
+// docs/fleet-protocol.md. Because the registry outlives each run,
+// worker health, breaker state, and throughput scores learned on one
+// request carry into the next. The spool contract is identical to the
 // supervised path: completed partials land in the same layout under the
 // same digest-named directory, so ResumeOrphans, drain and kill-resume
 // semantics carry over unchanged, and the merged curve is byte-identical
@@ -19,9 +22,8 @@ import (
 func (s *Server) fleetDerive(ctx context.Context, d *derivation, dir string, shards int, allowPartial bool) (deriveOut, error) {
 	var out deriveOut
 	report, err := fleet.Run(ctx, d.mspec, shards, fleet.Options{
-		Workers:         s.cfg.FleetWorkers,
+		Registry:        s.fleetReg,
 		Dir:             dir,
-		PerWorker:       s.cfg.FleetPerWorker,
 		MaxRetries:      s.cfg.ShardRetries,
 		SpeculateAfter:  s.cfg.FleetSpeculateAfter,
 		CheckpointEvery: s.cfg.CheckpointEvery,
@@ -35,6 +37,7 @@ func (s *Server) fleetDerive(ctx context.Context, d *derivation, dir string, sha
 		s.stats.fleetRetries.Add(report.Retries)
 		s.stats.fleetSpeculations.Add(report.Speculations)
 		s.stats.fleetQuarantines.Add(report.Quarantines)
+		s.stats.fleetDeferrals.Add(report.Deferrals)
 		for _, st := range report.Shards {
 			if st.Completed && !st.Resumed {
 				// The coordinator observes index coverage, not worker-side

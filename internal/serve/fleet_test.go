@@ -102,9 +102,11 @@ func TestFleetServeByteIdentity(t *testing.T) {
 }
 
 // TestFleetServeKillAWorker kills a live worker server mid-derivation:
-// its in-flight shards die with the process (503 draining), the
-// coordinator retries them on the surviving worker, and the final curve
-// is still byte-identical.
+// its in-flight shards die with the process (connection errors and 503
+// draining with Retry-After), the coordinator redispatches them on the
+// surviving worker — as retries or as polite deferrals, depending on
+// which rejection each dispatch observed — and the final curve is still
+// byte-identical.
 func TestFleetServeKillAWorker(t *testing.T) {
 	var killOnce sync.Once
 	var doomed *Server
@@ -131,8 +133,8 @@ func TestFleetServeKillAWorker(t *testing.T) {
 	if want := gemmWant(t, 32, 24, 16); string(env.Curve) != want {
 		t.Fatalf("curve after worker kill differs from bound.Derive\n got %s\nwant %s", env.Curve, want)
 	}
-	if got := cs.Snapshot().FleetRetries; got == 0 {
-		t.Fatal("killed worker cost no retries — it was never dispatched to")
+	if st := cs.Snapshot(); st.FleetRetries+st.FleetDeferrals == 0 {
+		t.Fatal("killed worker cost no retries or deferrals — it was never dispatched to")
 	}
 }
 
@@ -325,5 +327,74 @@ func TestFleetServeUsesRequestStride(t *testing.T) {
 	}
 	if flushes.Load() == 0 {
 		t.Fatal("worker never flushed mid-shard: the dispatched checkpoint stride was ignored")
+	}
+}
+
+// TestFleetServeMembershipAndStats exercises runtime membership reload
+// and the /stats fleet gauges: a coordinator born with no fleet derives
+// locally, picks up a worker via SetFleetWorkers and dispatches to it,
+// exports membership gauges and per-worker detail over /stats, and
+// falls back to local derivation when the membership empties again.
+func TestFleetServeMembershipAndStats(t *testing.T) {
+	ws, wts := newTestServer(t, Config{WorkerDir: t.TempDir()})
+	cs, ts := newTestServer(t, Config{SpoolDir: t.TempDir()})
+
+	// Empty membership: sharded requests derive locally, no gauges.
+	if status, data := postCurve(t, ts.URL, `{"gemm":{"m":32,"k":24,"n":16},"shards":2,"timeout_ms":60000}`); status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, data)
+	}
+	if got := ws.Snapshot().WorkerShards; got != 0 {
+		t.Fatalf("empty membership dispatched %d shards to the worker", got)
+	}
+	if st := cs.Snapshot(); st.FleetWorkersGauges != nil {
+		t.Fatalf("empty membership exported fleet gauges: %+v", st.FleetWorkersGauges)
+	}
+
+	// The worker joins at runtime; the next sharded request reaches it.
+	if added, removed := cs.SetFleetWorkers([]string{wts.URL}); added != 1 || removed != 0 {
+		t.Fatalf("SetFleetWorkers = (%d added, %d removed), want (1, 0)", added, removed)
+	}
+	status, data := postCurve(t, ts.URL, `{"gemm":{"m":32,"k":16,"n":24},"shards":2,"timeout_ms":60000}`)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, data)
+	}
+	if want := gemmWant(t, 32, 16, 24); string(decodeEnvelope(t, data).Curve) != want {
+		t.Fatal("fleet-served curve after membership reload differs from bound.Derive")
+	}
+	if got := ws.Snapshot().WorkerShards; got != 2 {
+		t.Fatalf("worker completed %d shards after joining, want 2", got)
+	}
+
+	// /stats exports the membership gauges and per-worker detail.
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if g := st.FleetWorkersGauges; g == nil || g.Total != 1 || g.Healthy != 1 {
+		t.Fatalf("fleet_workers gauges = %+v, want 1 total, 1 healthy", st.FleetWorkersGauges)
+	}
+	if len(st.FleetWorkerDetail) != 1 || st.FleetWorkerDetail[0].URL != wts.URL {
+		t.Fatalf("fleet_worker_detail = %+v, want exactly the joined worker", st.FleetWorkerDetail)
+	}
+	if d := st.FleetWorkerDetail[0]; d.Dispatches < 2 || d.Completions < 2 ||
+		d.Breaker != "closed" || d.ShardsPerSec <= 0 {
+		t.Fatalf("worker detail %+v, want >= 2 dispatches and completions, a closed breaker, and positive throughput", d)
+	}
+
+	// The membership empties again: requests degrade to local derivation.
+	if added, removed := cs.SetFleetWorkers(nil); added != 0 || removed != 1 {
+		t.Fatalf("SetFleetWorkers(nil) = (%d added, %d removed), want (0, 1)", added, removed)
+	}
+	before := ws.Snapshot().WorkerShards
+	if status, data := postCurve(t, ts.URL, `{"gemm":{"m":16,"k":24,"n":32},"shards":2,"timeout_ms":60000}`); status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, data)
+	}
+	if got := ws.Snapshot().WorkerShards; got != before {
+		t.Fatalf("emptied membership still dispatched shards: %d -> %d", before, got)
 	}
 }

@@ -46,6 +46,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/pareto"
 	"repro/internal/shard"
 	"repro/internal/supervise"
@@ -123,6 +124,20 @@ type Config struct {
 	FleetPerWorker      int
 	FleetSpeculateAfter time.Duration
 
+	// FleetProbeInterval is the period of the fleet registry's /readyz
+	// health probes, running for the server's lifetime; 0 means 15s,
+	// negative disables probing. Probe verdicts demote unhealthy workers
+	// in allocation (docs/fleet-protocol.md "Health, membership &
+	// breakers").
+	FleetProbeInterval time.Duration
+
+	// FleetBreakerFailures and FleetBreakerCooldown tune the per-worker
+	// circuit breakers of the fleet registry: consecutive dispatch
+	// failures to open, and how long an open breaker sheds load before
+	// its half-open probe dispatch. Zero values take the fleet defaults.
+	FleetBreakerFailures int
+	FleetBreakerCooldown time.Duration
+
 	// FleetClient overrides the coordinator's HTTP client (nil means a
 	// default with sane timeouts) — also the fault-injection seam fleet
 	// transport tests use.
@@ -173,6 +188,13 @@ type Server struct {
 	// path (see lockShardPath); workerMu guards the table.
 	workerMu    sync.Mutex
 	workerLocks map[string]*wlock
+
+	// fleetReg is the server-lifetime fleet membership: worker health,
+	// circuit breakers, Retry-After holds and throughput scores persist
+	// across fleet runs, and SetFleetWorkers reconciles it at runtime. It
+	// always exists — a server configured without fleet workers has an
+	// empty membership and derives locally until one joins.
+	fleetReg *fleet.Registry
 }
 
 // New constructs a Server from cfg, resolving defaults.
@@ -201,6 +223,9 @@ func New(cfg Config) *Server {
 	if cfg.MaxShards <= 0 {
 		cfg.MaxShards = 64
 	}
+	if cfg.FleetProbeInterval == 0 {
+		cfg.FleetProbeInterval = 15 * time.Second
+	}
 	base, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:        cfg,
@@ -210,6 +235,17 @@ func New(cfg Config) *Server {
 		started:    time.Now(),
 		base:       base,
 		cancelBase: cancel,
+		fleetReg: fleet.NewRegistry(cfg.FleetWorkers, fleet.RegistryConfig{
+			PerWorker: cfg.FleetPerWorker,
+			Breaker: fleet.BreakerConfig{
+				Failures: cfg.FleetBreakerFailures,
+				Cooldown: cfg.FleetBreakerCooldown,
+			},
+			Logf: cfg.Logf,
+		}),
+	}
+	if cfg.FleetProbeInterval > 0 {
+		s.fleetReg.StartProbing(s.base, cfg.FleetProbeInterval, cfg.FleetClient)
 	}
 	s.mux.HandleFunc("/v1/curve", s.handleCurve)
 	s.mux.HandleFunc("/v1/shard", s.handleShard)
@@ -582,7 +618,11 @@ func (s *Server) spooledDerive(d *derivation, shards int, allowPartial bool) der
 		if err := writeSpoolSpec(dir, d, shards); err != nil {
 			s.logf("serve: writing %s in spool %s: %v", spoolSpecFile, dir, err)
 		}
-		if len(s.cfg.FleetWorkers) > 0 {
+		// Membership is consulted per request, not per process: a fleet
+		// whose last worker was removed at runtime degrades to local
+		// supervised derivation, and one that gained its first worker
+		// starts dispatching.
+		if s.fleetReg.Len() > 0 {
 			return s.fleetDerive(ctx, d, dir, shards, allowPartial)
 		}
 		report, err := supervise.Run(ctx, shards, d.mkJob, supervise.Options{
@@ -620,19 +660,58 @@ func (s *Server) spooledDerive(d *derivation, shards int, allowPartial bool) der
 	}
 }
 
+// SetFleetWorkers reconciles the fleet membership at runtime — the
+// flag-file reload path: workers missing from urls join with fresh
+// state, members absent from urls leave (in-flight dispatches to them
+// finish; they just get no new ones), and workers present in both keep
+// their health, breaker, and throughput history. Shards blocked waiting
+// for fleet capacity observe joins immediately. Returns how many
+// workers joined and left.
+func (s *Server) SetFleetWorkers(urls []string) (added, removed int) {
+	return s.fleetReg.SetWorkers(urls)
+}
+
+// HealthDetail is the body of /healthz and /readyz: the status plus the
+// worker-health detail a fleet coordinator (or operator) reads when the
+// plain status code is not enough.
+type HealthDetail struct {
+	// Status is "ok"/"ready" or "draining".
+	Status string `json:"status"`
+	// Draining reports admissions closed for shutdown.
+	Draining bool `json:"draining,omitempty"`
+	// InFlight derivations hold slots now; QueueDepth flights wait.
+	InFlight   int `json:"in_flight"`
+	QueueDepth int `json:"queue_depth"`
+	// WorkerEnabled reports whether this process serves POST /v1/shard
+	// for fleet coordinators.
+	WorkerEnabled bool `json:"worker_enabled"`
+}
+
+// healthDetail assembles the shared health body.
+func (s *Server) healthDetail(status string) HealthDetail {
+	return HealthDetail{
+		Status:        status,
+		Draining:      s.draining.Load(),
+		InFlight:      s.adm.inFlight(),
+		QueueDepth:    s.adm.queueDepth(),
+		WorkerEnabled: s.cfg.WorkerDir != "",
+	}
+}
+
 // handleHealthz is liveness: 200 as long as the process serves HTTP.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, s.healthDetail("ok"))
 }
 
 // handleReadyz is readiness: 200 while accepting work, 503 once
-// draining — load balancers stop routing before the listener closes.
+// draining — load balancers stop routing before the listener closes,
+// and fleet registries probing this endpoint demote the worker.
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		writeJSON(w, http.StatusServiceUnavailable, s.healthDetail("draining"))
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	writeJSON(w, http.StatusOK, s.healthDetail("ready"))
 }
 
 // handleStats is GET /stats: the Stats snapshot.

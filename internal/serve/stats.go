@@ -3,6 +3,8 @@ package serve
 import (
 	"sync/atomic"
 	"time"
+
+	"repro/internal/fleet"
 )
 
 // counters is the server's lock-free operational telemetry.
@@ -26,6 +28,7 @@ type counters struct {
 	fleetRetries      atomic.Int64
 	fleetSpeculations atomic.Int64
 	fleetQuarantines  atomic.Int64
+	fleetDeferrals    atomic.Int64
 }
 
 // Stats is the GET /stats response: a point-in-time snapshot of the
@@ -80,11 +83,20 @@ type Stats struct {
 	// (including speculative duplicates), FleetRetries retry rounds after
 	// failed dispatches, FleetSpeculations speculative duplicates
 	// launched on stragglers, FleetQuarantines invalid responses (and
-	// corrupt spool partials) set aside.
+	// corrupt spool partials) set aside, FleetDeferrals polite
+	// Retry-After deferrals honored without burning retry budget.
 	FleetDispatches   int64 `json:"fleet_dispatches"`
 	FleetRetries      int64 `json:"fleet_retries"`
 	FleetSpeculations int64 `json:"fleet_speculations"`
 	FleetQuarantines  int64 `json:"fleet_quarantines"`
+	FleetDeferrals    int64 `json:"fleet_deferrals"`
+
+	// FleetWorkersGauges is the fleet membership split by health and
+	// breaker state, and FleetWorkerDetail the per-worker rows (probed
+	// health, breaker, dispatches/failures/completions, EWMA shards/sec).
+	// Both absent when the membership is empty.
+	FleetWorkersGauges *fleet.Gauges        `json:"fleet_workers,omitempty"`
+	FleetWorkerDetail  []fleet.WorkerStatus `json:"fleet_worker_detail,omitempty"`
 }
 
 // Snapshot assembles the current Stats.
@@ -100,7 +112,7 @@ func (s *Server) Snapshot() Stats {
 	if nanos > 0 {
 		mps = float64(eval) / (time.Duration(nanos)).Seconds()
 	}
-	return Stats{
+	st := Stats{
 		UptimeSeconds:     time.Since(s.started).Seconds(),
 		Draining:          s.draining.Load(),
 		Requests:          s.stats.requests.Load(),
@@ -124,5 +136,11 @@ func (s *Server) Snapshot() Stats {
 		FleetRetries:      s.stats.fleetRetries.Load(),
 		FleetSpeculations: s.stats.fleetSpeculations.Load(),
 		FleetQuarantines:  s.stats.fleetQuarantines.Load(),
+		FleetDeferrals:    s.stats.fleetDeferrals.Load(),
 	}
+	if g := s.fleetReg.Gauges(); g.Total > 0 {
+		st.FleetWorkersGauges = &g
+		st.FleetWorkerDetail = s.fleetReg.Snapshot()
+	}
+	return st
 }
