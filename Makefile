@@ -6,7 +6,8 @@ RACE_PKGS := ./internal/bound ./internal/pareto ./internal/fusion \
              ./internal/traverse ./internal/mapping \
              ./internal/multilevel ./internal/simba \
              ./internal/shard ./internal/supervise ./internal/serve \
-             ./internal/workload ./internal/fleet ./internal/cliutil
+             ./internal/workload ./internal/fleet ./internal/cliutil \
+             ./internal/store
 
 # The fault-injection and supervision suites: every scripted I/O failure,
 # kill and cancellation must end in a successful retry or a named,
@@ -14,7 +15,7 @@ RACE_PKGS := ./internal/bound ./internal/pareto ./internal/fusion \
 # already shortened to milliseconds.
 ROBUST_PKGS := ./internal/shard ./internal/supervise ./internal/traverse
 
-.PHONY: all vet build test race robust serve fleet chaos bench-json docs ci
+.PHONY: all vet build test race robust serve fleet chaos store bench-json docs ci
 
 all: ci
 
@@ -66,6 +67,16 @@ fleet:
 chaos:
 	go test -race -count=1 -run '^TestChaos' ./internal/fleet
 
+# The durable curve-store suite under the race detector: checksummed
+# content-addressed persistence, the storage fault matrix (torn writes,
+# kill-mid-write, zeroed tails, flipped digests, stale engines, ENOSPC,
+# concurrent writers), quarantine-and-re-derive, LRU GC, restart warmth
+# and the server/warmer shared-directory paths (docs/curve-store.md).
+store:
+	go test -race -count=1 ./internal/store
+	go test -race -count=1 ./internal/cliutil -run 'Store|Warm'
+	go test -race -count=1 ./internal/serve -run 'Store|Restart|Warmer|Corrupt|Degraded206'
+
 # Machine-readable benchmark artifact: the paper-figure benchmark suite
 # (root package) parsed into BENCH_PR9.json by internal/tools/benchjson,
 # followed by a delta report against the previous PR's artifact so
@@ -77,9 +88,9 @@ BENCH ?= .
 
 bench-json:
 	go test -run '^$$' -bench '$(BENCH)' -benchtime $(BENCHTIME) -benchmem . \
-		| go run ./internal/tools/benchjson -out BENCH_PR9.json
-	@if [ -f BENCH_PR8.json ]; then \
-		go run ./internal/tools/benchjson -delta BENCH_PR8.json BENCH_PR9.json; \
+		| go run ./internal/tools/benchjson -out BENCH_PR10.json
+	@if [ -f BENCH_PR9.json ]; then \
+		go run ./internal/tools/benchjson -delta BENCH_PR9.json BENCH_PR10.json; \
 	fi
 
-ci: vet build test race robust serve fleet chaos docs
+ci: vet build test race robust serve fleet chaos store docs

@@ -61,6 +61,7 @@ func main() {
 	path := flag.String("path", "tiled", "sharded derivation path: tiled (FFMT template sweep) or segmentation (2^(n-1) cut study)")
 	specFile := flag.String("spec", "", "run a serialized workload spec (JSON, any kind; see docs/workload-spec.md) instead of workload flags")
 	sf := cliutil.AddShardFlags(flag.CommandLine, "template indices")
+	stf := cliutil.AddStoreFlags(flag.CommandLine)
 	flag.Parse()
 
 	opts := orojenesis.Options{Workers: *workers}
@@ -69,7 +70,7 @@ func main() {
 	}
 
 	if *specFile != "" {
-		cliutil.RunSpec(*specFile, sf, *workers, *stats, summarize)
+		cliutil.RunSpec(*specFile, sf, stf.Open(), *workers, *stats, summarize)
 		return
 	}
 

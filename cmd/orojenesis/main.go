@@ -33,6 +33,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -65,6 +66,7 @@ func main() {
 	stats := flag.Bool("stats", false, "print traversal statistics (workers used, mappings/sec)")
 	specFile := flag.String("spec", "", "run a serialized workload spec (JSON, any kind; see docs/workload-spec.md) instead of workload flags")
 	sf := cliutil.AddShardFlags(flag.CommandLine, "tiling indices")
+	stf := cliutil.AddStoreFlags(flag.CommandLine)
 	flag.Parse()
 
 	opts := orojenesis.Options{ImperfectExtra: *imperfect, Workers: *workers}
@@ -73,7 +75,7 @@ func main() {
 	}
 
 	if *specFile != "" {
-		cliutil.RunSpec(*specFile, sf, *workers, *stats, summarize)
+		cliutil.RunSpec(*specFile, sf, stf.Open(), *workers, *stats, summarize)
 		return
 	}
 	if *ratio {
@@ -111,16 +113,35 @@ func main() {
 		cliutil.RunShard(cfg, sf, mkJob)
 		return
 	}
-	a, err := orojenesis.Analyze(e, opts)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	fmt.Printf("workload: %s\n", e)
-	fmt.Printf("mappings evaluated: %d in %v\n", a.Stats.MappingsEvaluated, a.Stats.Elapsed)
-	if *stats {
-		fmt.Printf("workers: %d  throughput: %.0f mappings/sec\n",
-			a.Stats.Workers, a.Stats.MappingsPerSec())
+	var a *orojenesis.Analysis
+	if st := stf.Open(); st != nil {
+		// The durable curve tier (docs/curve-store.md): a prior run — or a
+		// server sharing the directory — already derived this workload's
+		// curve, so replay it and rebuild the report without traversing.
+		res, err := cliutil.StoreRun(context.Background(), st,
+			workload.NewBound(e, opts), workload.Exec{Workers: *workers})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if a, err = orojenesis.AnalyzeCurve(e, res.Curve); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("workload: %s\n", e)
+		suffix := ""
+		if res.Hit {
+			suffix = " (replayed from curve store)"
+		}
+		fmt.Printf("mappings evaluated: %d in %v%s\n", res.Evaluated, res.Elapsed, suffix)
+	} else {
+		if a, err = orojenesis.Analyze(e, opts); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("workload: %s\n", e)
+		fmt.Printf("mappings evaluated: %d in %v\n", a.Stats.MappingsEvaluated, a.Stats.Elapsed)
+		if *stats {
+			fmt.Printf("workers: %d  throughput: %.0f mappings/sec\n",
+				a.Stats.Workers, a.Stats.MappingsPerSec())
+		}
 	}
 	fmt.Printf("MACs: %d  algorithmic OI: %.2f  peak attainable OI: %.2f\n",
 		a.MACs, a.AlgorithmicOI, a.PeakOI)

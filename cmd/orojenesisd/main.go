@@ -76,6 +76,8 @@ func main() {
 	maxTimeout := flag.Duration("max-timeout", 0, "cap on client-requested deadlines (0 = 10m)")
 	cacheEntries := flag.Int("cache", 0, "result-cache capacity in curves (0 = 128)")
 	spool := flag.String("spool", "", "spool directory for sharded derivations (empty disables the shards request field)")
+	storeDir := flag.String("store-dir", "", "durable curve-store directory (docs/curve-store.md): derived curves persist across restarts and are shared with CLI warmers (empty disables the disk tier)")
+	storeMaxBytes := flag.Int64("store-max-bytes", 0, "byte cap of -store-dir, enforced by LRU garbage collection (0 = 1 GiB default; small values clamped up)")
 	checkpoint := flag.Int64("checkpoint", 0, "tiling indices per checkpoint flush for spooled shards (0 = shard default)")
 	retries := flag.Int("retries", 0, "per-shard retry budget for spooled derivations (0 = default)")
 	maxShards := flag.Int("max-shards", 0, "cap on the per-request shard count (0 = 64)")
@@ -144,6 +146,8 @@ func main() {
 		MaxTimeout:           *maxTimeout,
 		CacheEntries:         *cacheEntries,
 		SpoolDir:             *spool,
+		StoreDir:             *storeDir,
+		StoreMaxBytes:        *storeMaxBytes,
 		CheckpointEvery:      *checkpoint,
 		ShardRetries:         *retries,
 		MaxShards:            *maxShards,

@@ -14,6 +14,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/pareto"
 	"repro/internal/shard"
+	"repro/internal/store"
 	"repro/internal/supervise"
 	"repro/internal/workload"
 )
@@ -295,10 +296,14 @@ func emitMerged(cfg ShardRunConfig, f *ShardFlags, curve *pareto.Curve, degraded
 // and runs it under the shared shard flags: in-process by default, one
 // shard slice with -shard, a supervised fleet with -supervise. This is
 // the -spec FILE mode of the derivation CLIs — any CLI can run any kind,
-// because everything after decoding is registry dispatch. summarize,
+// because everything after decoding is registry dispatch. st, when
+// non-nil, is the durable curve store the in-process path checks and
+// populates (StoreRun); sharded modes ignore it — their unit of
+// persistence is the per-shard checkpoint, and their merged curves reach
+// the store when a server or in-process run derives them. summarize,
 // when non-nil, renders the final curve's summary table with the Spec's
 // kind as the series name.
-func RunSpec(path string, f *ShardFlags, workers int, stats bool, summarize func(name string, c *pareto.Curve)) {
+func RunSpec(path string, f *ShardFlags, st *store.Store, workers int, stats bool, summarize func(name string, c *pareto.Curve)) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		log.Fatal(err)
@@ -345,12 +350,16 @@ func RunSpec(path string, f *ShardFlags, workers int, stats bool, summarize func
 
 	ctx, stop := signalContext()
 	defer stop()
-	res, err := spec.Run(ctx, exec)
+	res, err := StoreRun(ctx, st, spec, exec)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(header)
-	fmt.Printf("candidates evaluated: %d\n", res.Evaluated)
+	if res.Hit {
+		fmt.Printf("candidates evaluated: %d (replayed from curve store)\n", res.Evaluated)
+	} else {
+		fmt.Printf("candidates evaluated: %d\n", res.Evaluated)
+	}
 	if len(res.Segments) > 0 {
 		fmt.Printf("segmentations: %d\n", len(res.Segments))
 	}

@@ -75,7 +75,7 @@ func TestRunSpecSupervisedRoundTrip(t *testing.T) {
 	}
 	out := filepath.Join(dir, "curve.json")
 	f := &ShardFlags{Supervise: 2, ShardDir: filepath.Join(dir, "parts"), Out: out}
-	RunSpec(specPath, f, 2, false, nil)
+	RunSpec(specPath, f, nil, 2, false, nil)
 
 	got, err := os.ReadFile(out)
 	if err != nil {
@@ -118,7 +118,7 @@ func TestRunSpecFleetRoundTrip(t *testing.T) {
 	}
 	out := filepath.Join(dir, "curve.json")
 	f := &ShardFlags{Supervise: 2, ShardDir: filepath.Join(dir, "parts"), Fleet: ts.URL, Out: out}
-	RunSpec(specPath, f, 2, false, nil)
+	RunSpec(specPath, f, nil, 2, false, nil)
 
 	got, err := os.ReadFile(out)
 	if err != nil {

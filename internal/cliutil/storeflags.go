@@ -1,0 +1,182 @@
+package cliutil
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// StoreFlags is the durable curve-store flag block shared by the
+// derivation CLIs (orojenesis, fusionbounds, curvewarm): the same
+// content-addressed directory orojenesisd serves from (-store-dir), so
+// batch CLI runs warm the server's cache and servers warm the CLIs'.
+// Register with AddStoreFlags; open with Open; run workload Specs
+// through the tier with StoreRun or WarmSpecDir.
+type StoreFlags struct {
+	// Dir is the store directory ("" = no store; runs derive as before).
+	Dir string
+	// MaxBytes caps the store's on-disk size (0 = the store default;
+	// small values are clamped up to the store minimum).
+	MaxBytes int64
+}
+
+// AddStoreFlags registers the shared curve-store flag block on fs.
+func AddStoreFlags(fs *flag.FlagSet) *StoreFlags {
+	f := &StoreFlags{}
+	fs.StringVar(&f.Dir, "store-dir", "", "durable curve-store directory shared with orojenesisd (docs/curve-store.md); in-process runs check it before deriving and persist what they derive")
+	fs.Int64Var(&f.MaxBytes, "store-max-bytes", 0, "byte cap of -store-dir, enforced by LRU garbage collection (0 = 1 GiB default; small values clamped up)")
+	return f
+}
+
+// Open opens the configured store, or returns nil when no -store-dir was
+// given. An unopenable directory is logged and degrades to nil — a CLI
+// run without its cache still derives correct curves, exactly like the
+// server's memory-only fallback.
+func (f *StoreFlags) Open() *store.Store {
+	if f.Dir == "" {
+		return nil
+	}
+	st, err := store.Open(store.Options{Dir: f.Dir, MaxBytes: f.MaxBytes, Logf: log.Printf})
+	if err != nil {
+		log.Printf("curve store disabled for this run: %v", err)
+		return nil
+	}
+	return st
+}
+
+// StoreRunResult is StoreRun's outcome: the derivation result plus where
+// it came from.
+type StoreRunResult struct {
+	*workload.Result
+	// Hit reports the result was served from the store without deriving.
+	Hit bool
+	// Elapsed is the derivation wall time — the original derivation's,
+	// replayed, on a hit.
+	Elapsed time.Duration
+}
+
+// StoreRun runs spec through the durable curve tier: a verified store
+// hit returns the persisted result without deriving; a miss derives
+// in-process and persists the exact result under the spec's identity
+// digest (store.Identity — the same digest the server uses, which is
+// what lets a CLI run warm a server's cache). A nil st just derives.
+// Persistence failures are logged, never fatal: the result is correct
+// either way.
+func StoreRun(ctx context.Context, st *store.Store, spec *workload.Spec, exec workload.Exec) (StoreRunResult, error) {
+	if st == nil {
+		start := time.Now()
+		res, err := spec.Run(ctx, exec)
+		return StoreRunResult{Result: res, Elapsed: time.Since(start)}, err
+	}
+	_, digest, err := store.Identity(spec)
+	if err != nil {
+		return StoreRunResult{}, err
+	}
+	if ent, ok := st.Get(digest); ok {
+		return StoreRunResult{
+			Result:  &workload.Result{Curve: ent.Curve, Evaluated: ent.Evaluated, Segments: ent.Segments},
+			Hit:     true,
+			Elapsed: time.Duration(ent.ElapsedMS) * time.Millisecond,
+		}, nil
+	}
+	start := time.Now()
+	res, err := spec.Run(ctx, exec)
+	if err != nil {
+		return StoreRunResult{}, err
+	}
+	elapsed := time.Since(start)
+	perr := st.Put(digest, &store.Entry{
+		Kind:      spec.Kind,
+		Workload:  spec.Describe(),
+		Evaluated: res.Evaluated,
+		ElapsedMS: elapsed.Milliseconds(),
+		Curve:     res.Curve,
+		Segments:  res.Segments,
+	})
+	if perr != nil && !errors.Is(perr, store.ErrDisabled) {
+		log.Printf("persisting %s (%.12s) to curve store: %v", spec.Describe(), digest, perr)
+	}
+	return StoreRunResult{Result: res, Elapsed: elapsed}, nil
+}
+
+// WarmOutcome is one spec file's row in a WarmSpecDir report.
+type WarmOutcome struct {
+	// Path is the spec file.
+	Path string
+	// Digest is the spec's identity digest in the store.
+	Digest string
+	// Hit reports the curve was already present (nothing derived).
+	Hit bool
+	// Evaluated and Points describe the curve (derived or replayed).
+	Evaluated int64
+	Points    int
+	// Err records a per-file failure (unparseable spec, failed
+	// derivation); the walk continues past it.
+	Err error
+}
+
+// WarmSpecDir walks a directory of serialized workload Spec files
+// (*.json, docs/workload-spec.md) through the store: every spec already
+// present is verified and left alone, every absent one is derived
+// in-process and persisted — the model-zoo warming loop of cmd/curvewarm.
+// Files are visited in sorted order; per-file failures are recorded in
+// the returned outcomes and do not stop the walk. The error return is
+// reserved for an unreadable directory.
+func WarmSpecDir(ctx context.Context, st *store.Store, dir string, exec workload.Exec, logf func(format string, args ...any)) ([]WarmOutcome, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	sort.Strings(matches)
+	outcomes := make([]WarmOutcome, 0, len(matches))
+	for _, path := range matches {
+		if ctx.Err() != nil {
+			return outcomes, ctx.Err()
+		}
+		out := WarmOutcome{Path: path}
+		out.Err = func() error {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			spec, err := workload.Decode(data)
+			if err != nil {
+				return fmt.Errorf("decoding spec: %w", err)
+			}
+			_, digest, err := store.Identity(spec)
+			if err != nil {
+				return err
+			}
+			out.Digest = digest
+			res, err := StoreRun(ctx, st, spec, exec)
+			if err != nil {
+				return err
+			}
+			out.Hit = res.Hit
+			out.Evaluated = res.Evaluated
+			out.Points = res.Curve.Len()
+			return nil
+		}()
+		if out.Err != nil {
+			logf("warm %s: %v", path, out.Err)
+		} else if out.Hit {
+			logf("warm %s: hit %.12s (%d points)", path, out.Digest, out.Points)
+		} else {
+			logf("warm %s: derived %.12s (%d candidates, %d points)", path, out.Digest, out.Evaluated, out.Points)
+		}
+		outcomes = append(outcomes, out)
+	}
+	return outcomes, nil
+}

@@ -1,0 +1,131 @@
+package cliutil
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/bound"
+	"repro/internal/einsum"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+func testStore(t *testing.T) *store.Store {
+	t.Helper()
+	st, err := store.Open(store.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestStoreRunMissThenHit: the first run derives and persists, the
+// second replays — same curve bytes, no derivation.
+func TestStoreRunMissThenHit(t *testing.T) {
+	st := testStore(t)
+	spec := workload.NewBound(einsum.GEMM("gemm_16x8x8", 16, 8, 8), bound.Options{})
+	exec := workload.Exec{Workers: 2}
+
+	first, err := StoreRun(context.Background(), st, spec, exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Hit {
+		t.Fatal("first run reported a hit on an empty store")
+	}
+	second, err := StoreRun(context.Background(), st, spec, exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Hit {
+		t.Fatal("second run missed a persisted result")
+	}
+	w, _ := json.Marshal(first.Curve)
+	g, _ := json.Marshal(second.Curve)
+	if string(w) != string(g) {
+		t.Fatal("replayed curve not byte-identical to the derived one")
+	}
+	if second.Evaluated != first.Evaluated {
+		t.Fatalf("replayed evaluated %d, derived %d", second.Evaluated, first.Evaluated)
+	}
+}
+
+// TestStoreRunNilStoreDerives: no -store-dir means plain derivation.
+func TestStoreRunNilStoreDerives(t *testing.T) {
+	spec := workload.NewBound(einsum.GEMM("gemm_16x8x8", 16, 8, 8), bound.Options{})
+	res, err := StoreRun(context.Background(), nil, spec, workload.Exec{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hit {
+		t.Fatal("nil store reported a hit")
+	}
+	if res.Curve == nil || res.Curve.Len() == 0 {
+		t.Fatal("nil-store run produced no curve")
+	}
+}
+
+// TestWarmSpecDir: the model-zoo loop — derive everything on the first
+// walk, hit everything on the second, record (and survive) a bad file.
+func TestWarmSpecDir(t *testing.T) {
+	dir := t.TempDir()
+	for name, e := range map[string]*einsum.Einsum{
+		"a": einsum.GEMM("gemm_16x8x8", 16, 8, 8),
+		"b": einsum.GEMM("gemm_8x8x8", 8, 8, 8),
+	} {
+		data, err := workload.NewBound(e, bound.Options{}).Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name+".json"), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, "broken.json"), []byte("not a spec"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st := testStore(t)
+	exec := workload.Exec{Workers: 2}
+	outcomes, err := WarmSpecDir(context.Background(), st, dir, exec, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) != 3 {
+		t.Fatalf("%d outcomes, want 3", len(outcomes))
+	}
+	var derived, failed int
+	for _, o := range outcomes {
+		switch {
+		case o.Err != nil:
+			failed++
+		case o.Hit:
+			t.Fatalf("first walk hit %s on an empty store", o.Path)
+		default:
+			derived++
+		}
+	}
+	if derived != 2 || failed != 1 {
+		t.Fatalf("first walk derived %d / failed %d, want 2 / 1", derived, failed)
+	}
+
+	again, err := WarmSpecDir(context.Background(), st, dir, exec, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range again {
+		if o.Err == nil && !o.Hit {
+			t.Fatalf("second walk re-derived %s", o.Path)
+		}
+	}
+
+	// Cancellation stops the walk between files.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := WarmSpecDir(ctx, st, dir, exec, nil); err == nil {
+		t.Fatal("cancelled walk reported no error")
+	}
+}

@@ -61,6 +61,32 @@ func AnalyzeEinsum(e *einsum.Einsum, opts bound.Options) (*EinsumAnalysis, error
 	return a, nil
 }
 
+// AnalyzeEinsumCurve rebuilds the single-Einsum report from an already
+// derived curve — one read back from the durable curve store — without
+// re-traversing the mapspace. Every field except Stats is a pure
+// function of the Einsum and its frontier; Stats stays zero because no
+// traversal ran.
+func AnalyzeEinsumCurve(e *einsum.Einsum, c *pareto.Curve) (*EinsumAnalysis, error) {
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	a := &EinsumAnalysis{
+		Einsum:              e,
+		Curve:               c,
+		Mesa:                oi.Mesa(c, e.MACs(), e.ElementSize),
+		AlgorithmicMinBytes: e.AlgorithmicMinBytes(),
+		TotalOperandBytes:   e.TotalOperandBytes(),
+		MACs:                e.MACs(),
+		PeakOI:              oi.PeakOI(c, e.MACs(), e.ElementSize),
+		AlgorithmicOI:       e.AlgorithmicOI(),
+		MaxEffectualBytes:   c.MaxEffectualBufferBytes(),
+	}
+	if g, ok := c.Gap1(); ok {
+		a.Gap1 = g
+	}
+	return a, nil
+}
+
 // Gap0 returns attainable-accesses / algorithmic-minimum at a capacity.
 func (a *EinsumAnalysis) Gap0(bufBytes int64) (float64, bool) {
 	return a.Curve.Gap0(bufBytes)

@@ -14,6 +14,11 @@ import (
 type result struct {
 	deriveOut
 	elapsed time.Duration
+
+	// fromStore marks a durable-store hit: the curve was read back from
+	// disk rather than derived in this process. Responses report it as
+	// cached; finish republishes it to the memory LRU.
+	fromStore bool
 }
 
 // flight is one in-progress derivation that any number of identical
@@ -45,12 +50,12 @@ type centry struct {
 	res result
 }
 
-// store is the digest-keyed result cache plus the single-flight table,
+// memCache is the digest-keyed result cache plus the single-flight table,
 // under one mutex: a finishing flight inserts its result and removes
 // itself atomically, so there is no window in which a new request sees
 // neither the cached result nor the running flight and starts a
 // duplicate derivation.
-type store struct {
+type memCache struct {
 	mu       sync.Mutex
 	capacity int
 	order    *list.List               // of *centry; front = most recent
@@ -58,8 +63,8 @@ type store struct {
 	flights  map[string]*flight
 }
 
-func newStore(capacity int) *store {
-	return &store{
+func newMemCache(capacity int) *memCache {
+	return &memCache{
 		capacity: capacity,
 		order:    list.New(),
 		entries:  make(map[string]*list.Element),
@@ -68,7 +73,7 @@ func newStore(capacity int) *store {
 }
 
 // get returns the cached result for key, refreshing its recency.
-func (s *store) get(key string) (result, bool) {
+func (s *memCache) get(key string) (result, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	el, ok := s.entries[key]
@@ -83,7 +88,7 @@ func (s *store) get(key string) (result, bool) {
 // The second return reports leadership: the leader must start the
 // derivation and eventually call finish; everyone (leader included, via
 // its request handler) waits on f.done or leaves.
-func (s *store) join(base context.Context, key string) (f *flight, leader bool) {
+func (s *memCache) join(base context.Context, key string) (f *flight, leader bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if f, ok := s.flights[key]; ok {
@@ -106,7 +111,7 @@ func (s *store) join(base context.Context, key string) (f *flight, leader bool) 
 // disconnected). When the last waiter leaves an unfinished flight, the
 // flight's context is cancelled: nobody wants the answer anymore, so the
 // traversal stops and frees its slot for admitted work.
-func (s *store) leave(f *flight) {
+func (s *memCache) leave(f *flight) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	f.waiters--
@@ -122,7 +127,7 @@ func (s *store) leave(f *flight) {
 // Degraded merges are also never cached: their spool survives, so the
 // next identical request resumes the missing slices instead of replaying
 // an incomplete answer.
-func (s *store) finish(f *flight, res result, err error) {
+func (s *memCache) finish(f *flight, res result, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	f.res, f.err = res, err
@@ -136,7 +141,7 @@ func (s *store) finish(f *flight, res result, err error) {
 
 // putLocked inserts or refreshes a cache entry and evicts from the cold
 // end past capacity. Caller holds mu.
-func (s *store) putLocked(key string, res result) {
+func (s *memCache) putLocked(key string, res result) {
 	if s.capacity <= 0 {
 		return
 	}
@@ -156,14 +161,14 @@ func (s *store) putLocked(key string, res result) {
 // put inserts a result that was computed outside any flight — the
 // spool-orphan recovery path uses it to publish derivations it completed
 // before the server started taking traffic.
-func (s *store) put(key string, res result) {
+func (s *memCache) put(key string, res result) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.putLocked(key, res)
 }
 
 // len reports the number of cached results.
-func (s *store) len() int {
+func (s *memCache) len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.entries)

@@ -25,7 +25,7 @@ func TestConcurrentCurveJSONUnderCache(t *testing.T) {
 	want := string(decodeEnvelope(t, data).Curve)
 
 	// The cached curve pointer — the object every future hit shares.
-	res, ok := s.store.get(s.onlyCachedKey(t))
+	res, ok := s.mem.get(s.onlyCachedKey(t))
 	if !ok {
 		t.Fatal("seeded result not in cache")
 	}
@@ -105,12 +105,12 @@ func TestConcurrentCurveJSONUnderCache(t *testing.T) {
 // onlyCachedKey returns the single key in the server's cache.
 func (s *Server) onlyCachedKey(t *testing.T) string {
 	t.Helper()
-	s.store.mu.Lock()
-	defer s.store.mu.Unlock()
-	if len(s.store.entries) != 1 {
-		t.Fatalf("cache holds %d entries, want 1", len(s.store.entries))
+	s.mem.mu.Lock()
+	defer s.mem.mu.Unlock()
+	if len(s.mem.entries) != 1 {
+		t.Fatalf("cache holds %d entries, want 1", len(s.mem.entries))
 	}
-	for k := range s.store.entries {
+	for k := range s.mem.entries {
 		return k
 	}
 	return ""

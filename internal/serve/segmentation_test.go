@@ -230,7 +230,7 @@ func TestServedSegmentationDegraded206(t *testing.T) {
 
 	// Degraded results are never cached: a retry must resume the spool,
 	// not replay the incomplete answer.
-	if got := s.store.len(); got != 0 {
+	if got := s.mem.len(); got != 0 {
 		t.Fatalf("degraded result entered the cache (%d entries)", got)
 	}
 }

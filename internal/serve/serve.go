@@ -49,6 +49,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/pareto"
 	"repro/internal/shard"
+	"repro/internal/store"
 	"repro/internal/supervise"
 	"repro/internal/traverse"
 )
@@ -89,6 +90,24 @@ type Config struct {
 	// SpoolDir/<digest prefix>, so a killed server resumes rather than
 	// restarts them. Empty disables sharded requests.
 	SpoolDir string
+
+	// StoreDir, when set, enables the durable curve tier
+	// (internal/store, docs/curve-store.md): successful exact
+	// derivations are persisted content-addressed by their digest, and a
+	// cache miss checks the disk before deriving — so a restarted server
+	// (or a CLI warmer sharing the directory) turns repeated workloads
+	// into disk hits instead of re-derivations. Empty disables the tier.
+	// A directory that cannot be opened, or that fails persistently at
+	// runtime (ENOSPC after GC, permissions), degrades the server to
+	// memory-only caching — logged once and visible as store_disabled in
+	// /stats — instead of failing requests.
+	StoreDir string
+
+	// StoreMaxBytes caps the curve store's on-disk size; past it the
+	// least recently used entries are garbage-collected. <= 0 means the
+	// store default (1 GiB); small positive values are clamped up to the
+	// store minimum.
+	StoreMaxBytes int64
 
 	// CheckpointEvery is the per-shard checkpoint stride for spooled
 	// derivations (shard.RunOptions semantics; 0 means the shard
@@ -161,6 +180,11 @@ type Config struct {
 	// runs — the test seam for injecting persistent write faults so the
 	// degraded (allow_partial) path is reachable in tests.
 	shardFS shard.FS
+
+	// storeFS, when non-nil, is the filesystem handed to the durable
+	// curve store — the fault-injection seam of the store robustness
+	// suite (torn writes, ENOSPC, rename failures).
+	storeFS shard.FS
 }
 
 // Server is the derivation service. Construct with New, mount Handler on
@@ -168,7 +192,7 @@ type Config struct {
 type Server struct {
 	cfg     Config
 	mux     *http.ServeMux
-	store   *store
+	mem     *memCache
 	adm     *admission
 	stats   counters
 	started time.Time
@@ -195,6 +219,12 @@ type Server struct {
 	// always exists — a server configured without fleet workers has an
 	// empty membership and derives locally until one joins.
 	fleetReg *fleet.Registry
+
+	// disk is the durable curve tier: nil when StoreDir is empty or the
+	// directory failed to open (/stats then reports store_disabled, and
+	// the server serves memory-cached and freshly derived curves as if no
+	// store were configured).
+	disk *store.Store
 }
 
 // New constructs a Server from cfg, resolving defaults.
@@ -230,7 +260,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:        cfg,
 		mux:        http.NewServeMux(),
-		store:      newStore(cfg.CacheEntries),
+		mem:        newMemCache(cfg.CacheEntries),
 		adm:        newAdmission(cfg.MaxConcurrent, cfg.MaxQueue, cfg.QueueWait),
 		started:    time.Now(),
 		base:       base,
@@ -246,6 +276,22 @@ func New(cfg Config) *Server {
 	}
 	if cfg.FleetProbeInterval > 0 {
 		s.fleetReg.StartProbing(s.base, cfg.FleetProbeInterval, cfg.FleetClient)
+	}
+	if cfg.StoreDir != "" {
+		disk, err := store.Open(store.Options{
+			Dir:      cfg.StoreDir,
+			MaxBytes: cfg.StoreMaxBytes,
+			FS:       cfg.storeFS,
+			Logf:     cfg.Logf,
+		})
+		if err != nil {
+			// The tier is an optimization: a server whose store directory
+			// is broken serves memory-cached and freshly derived curves
+			// exactly as one configured without a store.
+			s.logf("serve: curve store disabled (memory-only caching): %v", err)
+		} else {
+			s.disk = disk
+		}
 	}
 	s.mux.HandleFunc("/v1/curve", s.handleCurve)
 	s.mux.HandleFunc("/v1/shard", s.handleShard)
@@ -443,7 +489,7 @@ func (s *Server) handleCurve(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	if !req.NoCache {
-		if res, ok := s.store.get(d.key); ok {
+		if res, ok := s.mem.get(d.key); ok {
 			s.stats.hits.Add(1)
 			s.respond(w, d, &req, res, true)
 			return
@@ -451,7 +497,7 @@ func (s *Server) handleCurve(w http.ResponseWriter, r *http.Request) {
 	}
 	s.stats.misses.Add(1)
 
-	f, leader := s.store.join(s.base, d.key)
+	f, leader := s.mem.join(s.base, d.key)
 	if leader {
 		// Re-check draining under flightMu: Drain's barrier guarantees
 		// that once it proceeds to wait, no new flight passes here.
@@ -459,29 +505,29 @@ func (s *Server) handleCurve(w http.ResponseWriter, r *http.Request) {
 		if s.draining.Load() {
 			s.flightMu.Unlock()
 			f.cancel()
-			s.store.finish(f, result{}, context.Canceled)
-			s.store.leave(f)
+			s.mem.finish(f, result{}, context.Canceled)
+			s.mem.leave(f)
 			writeError(w, http.StatusServiceUnavailable, "draining",
 				"server is draining; retry against another replica", time.Second)
 			return
 		}
 		s.wg.Add(1)
 		s.flightMu.Unlock()
-		go s.runFlight(f, d, req.Shards, req.AllowPartial)
+		go s.runFlight(f, d, req.Shards, req.AllowPartial, req.NoCache)
 	}
 
 	select {
 	case <-f.done:
 		// finish has published res/err; waiters read them after done.
 		if f.err != nil {
-			s.store.leave(f)
+			s.mem.leave(f)
 			s.writeDeriveError(w, f.err)
 			return
 		}
-		s.store.leave(f)
+		s.mem.leave(f)
 		s.respond(w, d, &req, f.res, false)
 	case <-ctx.Done():
-		s.store.leave(f)
+		s.mem.leave(f)
 		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
 			s.stats.deadlines.Add(1)
 			writeError(w, http.StatusGatewayTimeout, "deadline",
@@ -499,7 +545,7 @@ func (s *Server) respond(w http.ResponseWriter, d *derivation, req *Request, res
 		Workload:  d.label,
 		Kind:      string(d.kind),
 		Digest:    d.digest,
-		Cached:    cached,
+		Cached:    cached || res.fromStore,
 		Shards:    req.Shards,
 		Evaluated: res.evaluated,
 		ElapsedMS: res.elapsed.Milliseconds(),
@@ -542,11 +588,14 @@ func (s *Server) writeDeriveError(w http.ResponseWriter, err error) {
 	}
 }
 
-// runFlight is the flight leader's goroutine: admission, derivation,
-// panic containment, and publication. It runs under the flight context —
-// a child of the server lifetime, cancelled early only when every waiter
-// has left or the server shuts down.
-func (s *Server) runFlight(f *flight, d *derivation, shards int, allowPartial bool) {
+// runFlight is the flight leader's goroutine: admission, disk-tier
+// lookup, derivation, panic containment, and publication. It runs under
+// the flight context — a child of the server lifetime, cancelled early
+// only when every waiter has left or the server shuts down. The durable
+// store is consulted inside the flight, so the single flight spans both
+// cache tiers: a stampede of identical requests costs one disk read —
+// or, past it, one derivation — never N.
+func (s *Server) runFlight(f *flight, d *derivation, shards int, allowPartial, noCache bool) {
 	defer s.wg.Done()
 	defer f.cancel()
 	start := time.Now()
@@ -558,6 +607,12 @@ func (s *Server) runFlight(f *flight, d *derivation, shards int, allowPartial bo
 				err = traverse.Recovered(r)
 			}
 		}()
+		if !noCache {
+			if out, ok := s.diskGet(d); ok {
+				res = out
+				return
+			}
+		}
 		if err = s.adm.acquire(f.ctx); err != nil {
 			return
 		}
@@ -576,6 +631,12 @@ func (s *Server) runFlight(f *flight, d *derivation, shards int, allowPartial bo
 		}
 		res.deriveOut, err = fn(f.ctx)
 	}()
+	if res.fromStore {
+		// A disk hit replays the original derivation's cost figures; the
+		// store.finish below republishes it to the memory LRU.
+		s.mem.finish(f, res, nil)
+		return
+	}
 	res.elapsed = time.Since(start)
 	var pe *traverse.PanicError
 	if errors.As(err, &pe) {
@@ -590,9 +651,61 @@ func (s *Server) runFlight(f *flight, d *derivation, shards int, allowPartial bo
 			s.stats.derivations.Add(1)
 			s.stats.evaluated.Add(res.evaluated)
 			s.stats.deriveNanos.Add(int64(res.elapsed))
+			s.diskPut(d, res)
 		}
 	}
-	s.store.finish(f, res, err)
+	s.mem.finish(f, res, err)
+}
+
+// diskGet consults the durable curve tier for the derivation's digest.
+// Misses (absent, disabled, quarantined-as-corrupt) return ok=false and
+// the flight derives as usual. A hit republishes through the flight
+// finish, so it also refreshes the memory LRU.
+func (s *Server) diskGet(d *derivation) (result, bool) {
+	if s.disk == nil {
+		return result{}, false
+	}
+	ent, ok := s.disk.Get(d.digest)
+	if !ok {
+		return result{}, false
+	}
+	s.stats.storeHits.Add(1)
+	return result{
+		deriveOut: deriveOut{
+			curve:     ent.Curve,
+			evaluated: ent.Evaluated,
+			segments:  ent.Segments,
+		},
+		elapsed:   time.Duration(ent.ElapsedMS) * time.Millisecond,
+		fromStore: true,
+	}, true
+}
+
+// diskPut persists a successful exact derivation to the durable tier.
+// Degraded results never reach here (they fail the res.degraded==nil
+// publication path and are never cached in any tier); write failures
+// are the store's problem — it degrades itself — and never the
+// request's.
+func (s *Server) diskPut(d *derivation, res result) {
+	if s.disk == nil || res.degraded != nil || res.curve.Degraded {
+		return
+	}
+	err := s.disk.Put(d.digest, &store.Entry{
+		Kind:      d.kind,
+		Workload:  d.label,
+		Evaluated: res.evaluated,
+		ElapsedMS: res.elapsed.Milliseconds(),
+		Curve:     res.curve,
+		Segments:  res.segments,
+	})
+	switch {
+	case err == nil:
+		s.stats.storeWrites.Add(1)
+	case errors.Is(err, store.ErrDisabled):
+		// Already logged once by the store itself.
+	default:
+		s.logf("serve: persisting %s (%.12s) to curve store: %v", d.label, d.digest, err)
+	}
 }
 
 // spooledDerive runs the derivation as a supervised, checkpointed shard

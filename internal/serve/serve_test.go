@@ -215,13 +215,13 @@ func TestCacheStampede(t *testing.T) {
 	// release the derivation.
 	deadline := time.Now().Add(10 * time.Second)
 	for {
-		s.store.mu.Lock()
+		s.mem.mu.Lock()
 		var waiters, flights int
-		for _, f := range s.store.flights {
+		for _, f := range s.mem.flights {
 			flights++
 			waiters = f.waiters
 		}
-		s.store.mu.Unlock()
+		s.mem.mu.Unlock()
 		if flights == 1 && waiters == n {
 			break
 		}

@@ -152,7 +152,9 @@ func (s *Server) ResumeOrphans(ctx context.Context) (int, error) {
 			s.logf("serve: resuming spool %s (%s): %v", dir, d.label, err)
 			continue
 		}
-		s.store.put(d.key, result{deriveOut: out, elapsed: time.Since(start)})
+		res := result{deriveOut: out, elapsed: time.Since(start)}
+		s.mem.put(d.key, res)
+		s.diskPut(d, res)
 		s.stats.derivations.Add(1)
 		s.stats.evaluated.Add(out.evaluated)
 		s.logf("serve: resumed orphaned derivation %s (%.12s) from spool", d.label, d.digest)

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/fleet"
+	"repro/internal/store"
 )
 
 // counters is the server's lock-free operational telemetry.
@@ -18,6 +19,10 @@ type counters struct {
 	deadlines   atomic.Int64
 	evaluated   atomic.Int64
 	deriveNanos atomic.Int64
+
+	// Durable curve store tier (zero when -store-dir is unset).
+	storeHits   atomic.Int64
+	storeWrites atomic.Int64
 
 	// Worker side of the fleet protocol (POST /v1/shard).
 	workerRequests atomic.Int64
@@ -97,6 +102,17 @@ type Stats struct {
 	// Both absent when the membership is empty.
 	FleetWorkersGauges *fleet.Gauges        `json:"fleet_workers,omitempty"`
 	FleetWorkerDetail  []fleet.WorkerStatus `json:"fleet_worker_detail,omitempty"`
+
+	// StoreHits counts curve requests served from the durable on-disk
+	// tier, and StoreWrites the derivations persisted to it. Store is the
+	// store's own gauge block (counters, live entry/byte scan, cap).
+	// All absent unless the server was started with -store-dir;
+	// StoreDisabled is true when the configured store failed to open or
+	// degraded at runtime (the server falls back to memory-only caching).
+	StoreHits     int64        `json:"store_hits,omitempty"`
+	StoreWrites   int64        `json:"store_writes,omitempty"`
+	Store         *store.Stats `json:"store,omitempty"`
+	StoreDisabled bool         `json:"store_disabled,omitempty"`
 }
 
 // Snapshot assembles the current Stats.
@@ -119,7 +135,7 @@ func (s *Server) Snapshot() Stats {
 		CacheHits:         hits,
 		CacheMisses:       misses,
 		CacheHitRate:      rate,
-		CacheEntries:      s.store.len(),
+		CacheEntries:      s.mem.len(),
 		CacheCapacity:     s.cfg.CacheEntries,
 		InFlight:          s.adm.inFlight(),
 		QueueDepth:        s.adm.queueDepth(),
@@ -141,6 +157,17 @@ func (s *Server) Snapshot() Stats {
 	if g := s.fleetReg.Gauges(); g.Total > 0 {
 		st.FleetWorkersGauges = &g
 		st.FleetWorkerDetail = s.fleetReg.Snapshot()
+	}
+	if s.cfg.StoreDir != "" {
+		st.StoreHits = s.stats.storeHits.Load()
+		st.StoreWrites = s.stats.storeWrites.Load()
+		if s.disk != nil {
+			ss := s.disk.StatsSnapshot()
+			st.Store = &ss
+			st.StoreDisabled = ss.Disabled
+		} else {
+			st.StoreDisabled = true
+		}
 	}
 	return st
 }

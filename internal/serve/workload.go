@@ -10,6 +10,7 @@ import (
 	"repro/internal/fusion"
 	"repro/internal/pareto"
 	"repro/internal/shard"
+	"repro/internal/store"
 	"repro/internal/workload"
 )
 
@@ -268,35 +269,19 @@ func specFromRequest(req *Request) (*workload.Spec, error) {
 	}), nil
 }
 
-// serveIdentity returns the digests that key the cache, the single
-// flight, and the spool directory. For every kind except segmentation
-// these are exactly the shard-job digests (the Spec's canonical
-// digests). Segmentation is the documented exception: its shard jobs
-// hash the per-op input curves into the workload digest
-// (shard.SegmentationCanonical), but those curves are derived inside the
-// flight — after the identity must already exist — so the serve identity
-// hashes only the chain. The divergence is sound because the per-op
-// curves are a pure function of the chain (derived with default bound
-// options): equal chains always yield equal shard digests, so partials
-// under one spool digest still merge. Pinned by the cross-layer identity
-// test in identity_test.go.
-func serveIdentity(spec *workload.Spec) (workloadDigest, optionsDigest string, err error) {
-	if spec.Kind == shard.KindSegmentation {
-		return shard.Digest(spec.Chain.Canonical()), shard.Digest("segmentation{}"), nil
-	}
-	return spec.Digests()
-}
-
 // derivationFromSpec compiles a validated Spec into a derivation through
-// the engine registry: identity from the canonical encodings, in-process
-// run and shard-job constructor from the Spec's engine, and — for Specs
-// with underived inputs — a prepare hook that materializes them under
-// the flight context.
+// the engine registry: cache identity from store.Identity (the shared
+// rule that keys the memory LRU, the durable curve store, the single
+// flight, and the spool directory — including segmentation's documented
+// chain-only special case), in-process run and shard-job constructor
+// from the Spec's engine, and — for Specs with underived inputs — a
+// prepare hook that materializes them under the flight context. Pinned
+// by the cross-layer identity test in identity_test.go.
 func derivationFromSpec(spec *workload.Spec, workers int) (*derivation, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	wd, od, err := serveIdentity(spec)
+	key, digest, err := store.Identity(spec)
 	if err != nil {
 		return nil, err
 	}
@@ -304,12 +289,11 @@ func derivationFromSpec(spec *workload.Spec, workers int) (*derivation, error) {
 	if err != nil {
 		return nil, err
 	}
-	key := string(spec.Kind) + "|" + wd + "|" + od
 	d := &derivation{
 		kind:   spec.Kind,
 		label:  spec.Describe(),
 		key:    key,
-		digest: shard.Digest(key),
+		digest: digest,
 		space:  space,
 		spec:   spec,
 		mspec:  spec,

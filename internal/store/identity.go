@@ -1,0 +1,36 @@
+package store
+
+import (
+	"repro/internal/shard"
+	"repro/internal/workload"
+)
+
+// Identity returns the cache identity of a workload Spec: the composite
+// key "kind|workloadDigest|optionsDigest" and its digest — the content
+// address under which the derived curve lives in this store, in the
+// server's memory LRU, and in its spool directory. One identity rule
+// shared by the server and the CLIs is what lets a batch job warm the
+// cache a server later reads.
+//
+// For every kind except segmentation the digests are exactly the
+// shard-job digests (Spec.Digests). Segmentation is the documented
+// exception: its shard jobs hash the derived per-op input curves into
+// the workload digest (shard.SegmentationCanonical), but those curves
+// are derived after the cache identity must already exist, so the cache
+// identity hashes only the chain. The divergence is sound because the
+// per-op curves are a pure function of the chain (derived with default
+// bound options): equal chains always yield equal shard digests. Pinned
+// by the cross-layer identity test in internal/serve.
+func Identity(spec *workload.Spec) (key, digest string, err error) {
+	var wd, od string
+	if spec.Kind == shard.KindSegmentation {
+		wd, od = shard.Digest(spec.Chain.Canonical()), shard.Digest("segmentation{}")
+	} else {
+		wd, od, err = spec.Digests()
+		if err != nil {
+			return "", "", err
+		}
+	}
+	key = string(spec.Kind) + "|" + wd + "|" + od
+	return key, shard.Digest(key), nil
+}

@@ -1,0 +1,45 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// tryLock acquires the store's cross-process GC lock without blocking:
+// an exclusive flock on dir/store.lock. The kernel releases a flock when
+// its holder dies, so a crashed GC never wedges the directory. Returns
+// ok=false when another process holds the lock (its GC is already
+// shrinking the directory) or when the lock file cannot be opened (the
+// sweep is skipped — GC is an optimization, never a correctness
+// requirement).
+func (s *Store) tryLock() (unlock func(), ok bool) {
+	f, err := os.OpenFile(filepath.Join(s.dir, lockFile), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		s.log("store: opening lock file: %v", err)
+		return nil, false
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		_ = f.Close()
+		return nil, false
+	}
+	return func() {
+		_ = syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+		_ = f.Close()
+	}, true
+}
+
+// isNoSpace reports a disk-full failure (ENOSPC, or EDQUOT where quotas
+// apply) — the class Put answers with a GC-and-retry before disabling.
+func isNoSpace(err error) bool {
+	return errors.Is(err, syscall.ENOSPC) || errors.Is(err, syscall.EDQUOT)
+}
+
+// isUnwritable reports a permission-class failure (EACCES, EPERM,
+// EROFS) — the directory will not start accepting writes on its own, so
+// Put disables the tier immediately instead of failing every request.
+func isUnwritable(err error) bool {
+	return errors.Is(err, syscall.EACCES) || errors.Is(err, syscall.EPERM) ||
+		errors.Is(err, syscall.EROFS)
+}

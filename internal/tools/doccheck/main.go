@@ -41,6 +41,7 @@ var strictDirs = map[string]bool{
 	"internal/serve":     true,
 	"internal/workload":  true,
 	"internal/fleet":     true,
+	"internal/store":     true,
 }
 
 // docRefPattern matches module-relative documentation references in

@@ -101,6 +101,13 @@ func Bound(e *Einsum, opts Options) *Curve {
 	return bound.Derive(e, opts).Curve
 }
 
+// AnalyzeCurve rebuilds the full single-Einsum report from an already
+// derived curve — e.g. one replayed from the durable curve store —
+// without re-traversing the mapspace. Stats is zero: nothing ran.
+func AnalyzeCurve(e *Einsum, c *Curve) (*Analysis, error) {
+	return core.AnalyzeEinsumCurve(e, c)
+}
+
 // LevelBound is a probe of a curve at one memory level's capacity.
 type LevelBound = bound.LevelBound
 
